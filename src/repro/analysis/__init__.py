@@ -1,0 +1,41 @@
+"""Analysis utilities: the measurements behind every figure.
+
+* :mod:`repro.analysis.metrics` — dataset statistics and degree CDFs
+  (Figures 4 and 6, the in-text "dataset summary" numbers).
+* :mod:`repro.analysis.curves` — Filter-Ratio-versus-k sweeps with the
+  paper's 25-trial averaging for randomized algorithms (Figures 5/7/8/9).
+* :mod:`repro.analysis.runtime` — wall-clock comparison (Figure 11).
+* :mod:`repro.analysis.report` — plain-text tables for terminals, logs
+  and EXPERIMENTS.md.
+"""
+
+from repro.analysis.metrics import GraphStats, degree_cdf, describe
+from repro.analysis.curves import (
+    FRCurve,
+    average_filter_ratio,
+    fr_curve,
+    fr_curves,
+)
+from repro.analysis.runtime import RuntimeMeasurement, runtime_comparison
+from repro.analysis.report import (
+    format_cdf_table,
+    format_curve_table,
+    format_stats_table,
+    format_table,
+)
+
+__all__ = [
+    "GraphStats",
+    "describe",
+    "degree_cdf",
+    "FRCurve",
+    "fr_curve",
+    "fr_curves",
+    "average_filter_ratio",
+    "RuntimeMeasurement",
+    "runtime_comparison",
+    "format_table",
+    "format_curve_table",
+    "format_cdf_table",
+    "format_stats_table",
+]

@@ -1,0 +1,102 @@
+"""Dataset statistics and degree distributions.
+
+Backs the paper's Figure 4 and Figure 6 (in-degree CDFs) and the in-text
+dataset characterizations ("almost 70% of the nodes are sinks and almost
+50% of the nodes have in-degree one").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural summary of a c-graph."""
+
+    nodes: int
+    edges: int
+    sources: int
+    sinks: int
+    sink_fraction: float
+    indegree_one_fraction: float
+    merge_nodes: int
+    max_in_degree: int
+    max_out_degree: int
+    is_dag: bool
+
+    def as_row(self) -> list[str]:
+        """Row representation for :func:`repro.analysis.report.format_table`."""
+        return [
+            str(self.nodes),
+            str(self.edges),
+            str(self.sources),
+            f"{self.sink_fraction:.2f}",
+            f"{self.indegree_one_fraction:.2f}",
+            str(self.merge_nodes),
+            str(self.max_in_degree),
+            str(self.max_out_degree),
+        ]
+
+
+def describe(graph: CGraph) -> GraphStats:
+    """Compute a :class:`GraphStats` summary."""
+    n = graph.number_of_nodes()
+    sinks = len(graph.sinks())
+    indegree_one = sum(1 for v in graph.nodes() if graph.in_degree(v) == 1)
+    return GraphStats(
+        nodes=n,
+        edges=graph.number_of_edges(),
+        sources=len(graph.sources),
+        sinks=sinks,
+        sink_fraction=sinks / n if n else 0.0,
+        indegree_one_fraction=indegree_one / n if n else 0.0,
+        merge_nodes=len(graph.merge_nodes()),
+        max_in_degree=max(
+            (graph.in_degree(v) for v in graph.nodes()), default=0
+        ),
+        max_out_degree=max(
+            (graph.out_degree(v) for v in graph.nodes()), default=0
+        ),
+        is_dag=graph.is_dag(),
+    )
+
+
+def degree_cdf(
+    graph: CGraph, kind: Literal["in", "out"] = "in"
+) -> list[tuple[int, float]]:
+    """Empirical CDF of node degrees, as plotted in Figures 4 and 6.
+
+    Returns ``(degree, P[deg ≤ degree])`` pairs at every distinct observed
+    degree, in increasing order.
+    """
+    if kind == "in":
+        degrees = sorted(graph.in_degree(v) for v in graph.nodes())
+    elif kind == "out":
+        degrees = sorted(graph.out_degree(v) for v in graph.nodes())
+    else:
+        raise ParameterError(f"kind must be 'in' or 'out', got {kind!r}")
+    n = len(degrees)
+    if n == 0:
+        return []
+    points: list[tuple[int, float]] = []
+    for i, d in enumerate(degrees):
+        if i + 1 == n or degrees[i + 1] != d:
+            points.append((d, (i + 1) / n))
+    return points
+
+
+def cdf_value_at(cdf: list[tuple[int, float]], degree: int) -> float:
+    """``P[deg ≤ degree]`` read off a :func:`degree_cdf` result."""
+    value = 0.0
+    for d, p in cdf:
+        if d > degree:
+            break
+        value = p
+    return value

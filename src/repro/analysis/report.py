@@ -1,0 +1,79 @@
+"""Plain-text tables for experiment output.
+
+Every experiment renders through these helpers so terminal output, the
+benchmark logs and EXPERIMENTS.md all show the same rows the paper's
+figures plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.analysis.curves import FRCurve
+from repro.analysis.metrics import GraphStats
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    normalized: list[list[str]] = []
+    for row in rows:
+        cells = [str(c) for c in row]
+        if len(cells) != columns:
+            cells += [""] * (columns - len(cells))
+        normalized.append(cells)
+        for i, cell in enumerate(cells[:columns]):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in normalized)
+    return "\n".join(out)
+
+
+def format_curve_table(curves: Mapping[str, FRCurve]) -> str:
+    """One row per budget, one column per algorithm — a figure as text."""
+    names = list(curves)
+    if not names:
+        return "(no curves)"
+    ks = curves[names[0]].ks
+    headers = ["k"] + names
+    rows = []
+    for i, k in enumerate(ks):
+        row = [str(k)]
+        for name in names:
+            curve = curves[name]
+            row.append(f"{curve.values[i]:.3f}" if i < len(curve.values) else "")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_cdf_table(
+    cdf: Sequence[tuple[int, float]], *, max_rows: int = 20
+) -> str:
+    """Degree-CDF sample points (down-sampled evenly past ``max_rows``)."""
+    if not cdf:
+        return "(empty graph)"
+    points = list(cdf)
+    if len(points) > max_rows:
+        step = (len(points) - 1) / (max_rows - 1)
+        points = [points[round(i * step)] for i in range(max_rows)]
+    return format_table(
+        ["degree", "P[deg<=d]"],
+        [[str(d), f"{p:.3f}"] for d, p in points],
+    )
+
+
+def format_stats_table(stats: Mapping[str, GraphStats]) -> str:
+    """Dataset-summary table (the in-text numbers of Section 5)."""
+    headers = [
+        "dataset", "nodes", "edges", "sources",
+        "sink_frac", "din1_frac", "merge", "max_din", "max_dout",
+    ]
+    rows = [[name, *s.as_row()] for name, s in stats.items()]
+    return format_table(headers, rows)

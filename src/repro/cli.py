@@ -1,0 +1,169 @@
+"""Command-line interface: ``filter-placement`` / ``python -m repro``.
+
+Subcommands
+-----------
+``place``
+    Run a placement algorithm on a dataset (built-in or edge-list file)
+    and print the chosen filters with their Filter Ratio.
+``stats``
+    Structural summary of a dataset.
+``experiment``
+    Run paper-figure experiments (thin wrapper over
+    :mod:`repro.experiments.runner`).
+``generate``
+    Write a built-in dataset to an edge-list file.
+
+Examples
+--------
+::
+
+    filter-placement place --dataset quote --algorithm G_All -k 4
+    filter-placement place --edges my_graph.txt --algorithm G_Max -k 10
+    filter-placement stats --dataset citation --scale 0.1
+    filter-placement experiment fig7 --fast
+    filter-placement generate --dataset twitter --scale 0.05 -o twitter.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.metrics import describe
+from repro.analysis.report import format_stats_table, format_table
+from repro.core.objective import filter_ratio, max_objective, phi
+from repro.core.registry import ALGORITHM_NAMES, get_algorithm
+from repro.datasets.loaders import load_real_dataset
+from repro.datasets.registry import DATASET_NAMES, get_dataset
+from repro.exceptions import ReproError
+from repro.graphs.cgraph import CGraph
+from repro.graphs.io import write_edge_list
+
+
+def _load_graph(args: argparse.Namespace) -> CGraph:
+    if args.edges is not None:
+        return load_real_dataset(args.edges, initiator=args.initiator)
+    kwargs: dict[str, object] = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    return get_dataset(args.dataset, **kwargs)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        help="built-in dataset name",
+    )
+    group.add_argument("--edges", help="edge-list file (one 'u v' per line)")
+    parser.add_argument(
+        "--initiator",
+        default=None,
+        help="source node for edge-list input (default: auto-detect)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=None)
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    algorithm = get_algorithm(args.algorithm)
+    result = algorithm.place(graph, args.k)
+    phi_empty = phi(graph, ())
+    f_max = max_objective(graph, phi_empty=phi_empty)
+    fr = filter_ratio(
+        graph, result.filters, phi_empty=phi_empty, f_max=f_max
+    )
+    rows = [[str(i + 1), repr(v)] for i, v in enumerate(result.filters)]
+    print(format_table(["#", "filter node"], rows))
+    print()
+    print(f"algorithm      : {result.algorithm}")
+    print(f"requested k    : {args.k}")
+    print(f"filters chosen : {len(result.filters)}")
+    print(f"Phi(empty)     : {phi_empty}")
+    print(f"Phi(A)         : {phi(graph, result.filters)}")
+    print(f"F(A)           : {phi_empty - phi(graph, result.filters)}")
+    print(f"Filter Ratio   : {fr:.4f}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    name = args.dataset or str(args.edges)
+    print(format_stats_table({name: describe(graph)}))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {graph.number_of_nodes()} nodes / "
+        f"{graph.number_of_edges()} edges to {args.output}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded = list(args.names)
+    if args.fast:
+        forwarded.append("--fast")
+    if args.scale is not None:
+        forwarded.extend(["--scale", str(args.scale)])
+    forwarded.extend(["--seed", str(args.seed)])
+    return runner_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="filter-placement",
+        description="Filter placement for minimizing information multiplicity "
+        "(VLDB 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    place = sub.add_parser("place", help="choose filter nodes")
+    _add_graph_arguments(place)
+    place.add_argument(
+        "--algorithm",
+        default="G_All",
+        choices=ALGORITHM_NAMES,
+    )
+    place.add_argument("-k", type=int, required=True, help="filter budget")
+    place.set_defaults(func=_cmd_place)
+
+    stats = sub.add_parser("stats", help="dataset structural summary")
+    _add_graph_arguments(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    generate = sub.add_parser("generate", help="write dataset edge list")
+    _add_graph_arguments(generate)
+    generate.add_argument("-o", "--output", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    experiment = sub.add_parser("experiment", help="run paper experiments")
+    experiment.add_argument("names", nargs="+")
+    experiment.add_argument("--fast", action="store_true")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

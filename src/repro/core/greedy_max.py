@@ -1,0 +1,60 @@
+"""``Greedy_Max`` — impacts computed once, top-``k`` taken.
+
+The first of the paper's two speed-up heuristics: compute every node's
+initial impact ``I(v) = I(v | ∅)`` exactly as ``Greedy_All`` would, but skip
+the re-computation between picks and simply return the ``k`` highest-impact
+nodes.  Running time ``O(n · |E|)`` in the paper, one linear sweep here.
+
+Its documented failure mode (Figure 10): nodes strung along a path all look
+high-impact in isolation, yet a single filter upstream collapses the
+impact of the rest — ``Greedy_Max`` buys the whole chain anyway, which is
+why its FR curve plateaus on the citation graph (Figure 9).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.core.base import PlacementResult, PlacementStep, check_budget
+from repro.core.impact import impacts
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+
+class GreedyMax:
+    """The paper's ``Greedy_Max`` heuristic."""
+
+    name = "G_Max"
+    prefix_consistent = True
+
+    def place(
+        self,
+        graph: CGraph,
+        k: int,
+        *,
+        rng: random.Random | None = None,
+    ) -> PlacementResult:
+        check_budget(graph, k)
+        node_rank = {v: i for i, v in enumerate(graph.nodes())}
+        scored = impacts(graph)
+        ranked = sorted(
+            (v for v, gain in scored.items() if gain > 0),
+            key=lambda v: (-scored[v], node_rank[v]),
+        )
+        chosen = tuple(ranked[:k])
+        steps = tuple(
+            PlacementStep(node=v, gain=scored[v]) for v in chosen
+        )
+        return PlacementResult(
+            algorithm=self.name,
+            filters=chosen,
+            requested_k=k,
+            steps=steps,
+        )
+
+
+def greedy_max(graph: CGraph, k: int) -> PlacementResult:
+    """Functional convenience wrapper around :class:`GreedyMax`."""
+    return GreedyMax().place(graph, k)

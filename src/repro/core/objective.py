@@ -1,0 +1,132 @@
+"""The Filter-Placement objective (Problem 1) and Proposition 1.
+
+Definitions, for c-graph ``G(V, E)`` and filter set ``A ⊆ V``:
+
+* ``Φ(A, V)`` — total number of copies received across all nodes and items
+  (:func:`phi`).
+* ``F(A) = Φ(∅, V) − Φ(A, V)`` — the redundancy removed (:func:`objective_value`).
+* ``FR(A) = F(A) / F(V)`` — the Filter Ratio, the paper's evaluation metric
+  (:func:`filter_ratio`).  ``FR = 1`` means all removable redundancy is gone.
+* Proposition 1 — the unbounded-budget optimum is the merge-node set
+  ``{v : din(v) > 1 and dout(v) > 0}`` (:func:`minimal_perfect_filter_set`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Mapping
+from typing import Hashable
+
+from repro.graphs.cgraph import CGraph
+from repro.graphs.validation import validate_filter_set
+from repro.propagation.engine import total_receipts
+
+Node = Hashable
+
+
+def phi(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    *,
+    items_per_source: int | Mapping[Node, int] = 1,
+) -> int:
+    """``Φ(A, V)``: copies received across all nodes, summed over items."""
+    validate_filter_set(graph, set(filters))
+    return total_receipts(graph, filters, items_per_source=items_per_source)
+
+
+def objective_value(
+    graph: CGraph,
+    filters: Collection[Node],
+    *,
+    items_per_source: int | Mapping[Node, int] = 1,
+    phi_empty: int | None = None,
+) -> int:
+    """``F(A) = Φ(∅, V) − Φ(A, V)``.
+
+    ``phi_empty`` lets sweep loops amortize the (filter-free) baseline.
+    """
+    if phi_empty is None:
+        phi_empty = phi(graph, (), items_per_source=items_per_source)
+    return phi_empty - phi(graph, filters, items_per_source=items_per_source)
+
+
+def max_objective(
+    graph: CGraph,
+    *,
+    items_per_source: int | Mapping[Node, int] = 1,
+    phi_empty: int | None = None,
+) -> int:
+    """``F(V)``: the most redundancy any filter set can remove.
+
+    Placing a filter everywhere is optimal (``F`` is monotone), so this is
+    simply ``F`` evaluated at ``A = V``.
+    """
+    return objective_value(
+        graph,
+        graph.nodes(),
+        items_per_source=items_per_source,
+        phi_empty=phi_empty,
+    )
+
+
+def filter_ratio(
+    graph: CGraph,
+    filters: Collection[Node],
+    *,
+    items_per_source: int | Mapping[Node, int] = 1,
+    phi_empty: int | None = None,
+    f_max: int | None = None,
+) -> float:
+    """``FR(A) = F(A) / F(V)`` — Section 5's performance metric.
+
+    A graph with no removable redundancy (``F(V) = 0``, e.g. a tree fed by
+    a single source edge) reports ``FR = 1.0`` for every filter set: all of
+    the zero redundancy has been removed, and this convention keeps sweep
+    curves well-defined.
+
+    ``phi_empty`` / ``f_max`` allow sweeps to amortize the two constants.
+    """
+    if phi_empty is None:
+        phi_empty = phi(graph, (), items_per_source=items_per_source)
+    if f_max is None:
+        f_max = max_objective(
+            graph, items_per_source=items_per_source, phi_empty=phi_empty
+        )
+    if f_max == 0:
+        return 1.0
+    value = objective_value(
+        graph,
+        filters,
+        items_per_source=items_per_source,
+        phi_empty=phi_empty,
+    )
+    return value / f_max
+
+
+def minimal_perfect_filter_set(
+    graph: CGraph, *, prune: bool = False
+) -> frozenset[Node]:
+    """Proposition 1: the minimal unbounded-budget optimum.
+
+    Returns ``A = {v : din(v) > 1 and dout(v) > 0}`` — placing filters on
+    exactly the non-sink merge nodes achieves ``F(A) = F(V)`` and takes
+    ``O(|E|)`` time to find.
+
+    The proposition's minimality argument assumes every merge node actually
+    receives multiple copies.  On graphs where some merge nodes are
+    unreachable (or reachable along a single live path), the faithful set
+    contains useless members; ``prune=True`` additionally drops every
+    member whose removal keeps ``F`` at ``F(V)``, yielding a minimal set
+    with respect to the given sources.
+    """
+    candidates = list(graph.merge_nodes())
+    if not prune:
+        return frozenset(candidates)
+    target = phi(graph, graph.nodes())
+    kept = set(candidates)
+    # Drop candidates greedily; order is the deterministic node order.
+    for v in candidates:
+        kept.discard(v)
+        if phi(graph, kept) != target:
+            kept.add(v)
+    return frozenset(kept)

@@ -1,0 +1,120 @@
+"""The randomized baselines of Section 5.
+
+* ``Rand_K`` — ``k`` filters uniformly at random, without replacement.
+* ``Rand_I`` — every node becomes a filter independently with probability
+  ``k/n`` (so only the *expected* set size is ``k``).
+* ``Rand_W`` — every node ``v`` gets weight ``w(v) = Σ_{u ∈ children(v)}
+  1/din(u)`` — its share of responsibility for its children's in-flow —
+  and becomes a filter with probability ``w(v) · k/n`` (clipped to 1).
+
+The paper runs each 25 times and averages the Filter Ratio;
+:func:`repro.analysis.curves.average_filter_ratio` reproduces that harness.
+Results are *not* prefix-consistent: each budget needs a fresh draw.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.core.base import PlacementResult, check_budget
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+#: Number of trials the paper averages randomized algorithms over.
+PAPER_TRIALS = 25
+
+
+def _require_rng(rng: random.Random | None) -> random.Random:
+    return rng if rng is not None else random.Random(0)
+
+
+class RandomK:
+    """``Rand_K``: exactly ``k`` uniformly random filters."""
+
+    name = "Rand_K"
+    prefix_consistent = False
+
+    def place(
+        self,
+        graph: CGraph,
+        k: int,
+        *,
+        rng: random.Random | None = None,
+    ) -> PlacementResult:
+        check_budget(graph, k)
+        rng = _require_rng(rng)
+        chosen = tuple(rng.sample(list(graph.nodes()), k))
+        return PlacementResult(
+            algorithm=self.name,
+            filters=chosen,
+            requested_k=k,
+            prefix_consistent=False,
+        )
+
+
+class RandomIndependent:
+    """``Rand_I``: each node filters independently with probability k/n."""
+
+    name = "Rand_I"
+    prefix_consistent = False
+
+    def place(
+        self,
+        graph: CGraph,
+        k: int,
+        *,
+        rng: random.Random | None = None,
+    ) -> PlacementResult:
+        check_budget(graph, k)
+        rng = _require_rng(rng)
+        n = graph.number_of_nodes()
+        p = k / n if n else 0.0
+        chosen = tuple(v for v in graph.nodes() if rng.random() < p)
+        return PlacementResult(
+            algorithm=self.name,
+            filters=chosen,
+            requested_k=k,
+            prefix_consistent=False,
+        )
+
+
+def child_share_weight(graph: CGraph, node: Node) -> float:
+    """``w(v) = Σ_{u ∈ children(v)} 1 / din(u)``.
+
+    The intuition from the paper: ``v``'s influence on the copies child
+    ``u`` receives is inversely proportional to how many other parents
+    feed ``u``.
+    """
+    return sum(1.0 / graph.in_degree(u) for u in graph.successors(node))
+
+
+class RandomWeighted:
+    """``Rand_W``: filter probability proportional to child-share weight."""
+
+    name = "Rand_W"
+    prefix_consistent = False
+
+    def place(
+        self,
+        graph: CGraph,
+        k: int,
+        *,
+        rng: random.Random | None = None,
+    ) -> PlacementResult:
+        check_budget(graph, k)
+        rng = _require_rng(rng)
+        n = graph.number_of_nodes()
+        scale = k / n if n else 0.0
+        chosen: list[Node] = []
+        for v in graph.nodes():
+            p = min(1.0, child_share_weight(graph, v) * scale)
+            if p > 0.0 and rng.random() < p:
+                chosen.append(v)
+        return PlacementResult(
+            algorithm=self.name,
+            filters=tuple(chosen),
+            requested_k=k,
+            prefix_consistent=False,
+        )

@@ -1,0 +1,240 @@
+"""Exact filter placement on c-trees — the dynamic program of Section 4.1.
+
+FP is polynomial on *communication trees* (graphs that become a directed
+tree once the source node is removed).  The paper first rewrites the tree
+so every node has at most two children (:func:`repro.graphs.binarize_ctree`,
+with dump nodes that may not host filters), then runs a budget-splitting
+recursion over (node, remaining budget).
+
+Our state carries one more coordinate the recursion needs to be
+well-defined: the *inflow* ``c`` — the number of copies arriving from the
+tree parent, which depends on filter decisions made above.  (The paper's
+``OPT(v, i, A)`` threads the same information through its set argument
+``A``.)  For each node the set of reachable inflows is small — one value
+per distinct filter pattern on the root path, at most depth-plus-one values
+— so the table stays polynomial: ``O(n · k · depth)`` states with ``O(k)``
+budget splits each.
+
+The DP minimizes total receipts at *real* nodes; dump nodes relay copies
+but never count.  ``tree_optimal_placement`` returns both the argmin filter
+set and the optimal objective value, and the test suite certifies it
+against exhaustive search on random c-trees.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Hashable
+
+from repro.core.base import PlacementResult, check_budget
+from repro.exceptions import GraphStructureError
+from repro.graphs.binary_tree import BinarizedTree, binarize_ctree
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+_INF = float("inf")
+
+
+class TreeDynamicProgram:
+    """Exact optimum on c-trees via the Section 4.1 dynamic program."""
+
+    name = "Tree_DP"
+    prefix_consistent = False  # an optimal k-set need not extend a (k-1)-set
+
+    def place(
+        self,
+        graph: CGraph,
+        k: int,
+        *,
+        rng: random.Random | None = None,
+    ) -> PlacementResult:
+        check_budget(graph, k)
+        filters, _ = tree_optimal_placement(graph, k)
+        return PlacementResult(
+            algorithm=self.name,
+            filters=tuple(sorted(filters, key=repr)),
+            requested_k=k,
+            prefix_consistent=False,
+        )
+
+
+def tree_optimal_placement(
+    graph: CGraph, k: int
+) -> tuple[frozenset[Node], int]:
+    """Optimal ``(filter set, F(A))`` for a c-tree with budget ``k``.
+
+    Raises
+    ------
+    GraphStructureError
+        If ``graph`` is not a c-tree.
+    """
+    check_budget(graph, k)
+    binary = binarize_ctree(graph)
+    if binary.graph.number_of_nodes() <= 1:
+        return frozenset(), 0
+
+    solver = _TreeSolver(binary, k)
+    min_cost = solver.solve()
+    baseline = solver.cost_without_filters()
+    chosen = solver.reconstruct()
+    return frozenset(chosen), baseline - min_cost
+
+
+class _TreeSolver:
+    """Bottom-up evaluation of the (node, budget, inflow) table."""
+
+    def __init__(self, binary: BinarizedTree, k: int) -> None:
+        self.binary = binary
+        self.k = k
+        graph = binary.graph
+        source = binary.source
+
+        self.children: dict[Node, tuple[Node, ...]] = {}
+        for v in graph.nodes():
+            if v == source:
+                continue
+            self.children[v] = tuple(
+                c for c in graph.successors(v) if c != source
+            )
+        self.from_source: set[Node] = set(graph.successors(source))
+        self.root = binary.root
+
+        # Top-down pass: the reachable inflow values of every node.
+        self.inflows: dict[Node, set[int]] = {self.root: {0}}
+        order: list[Node] = []
+        queue: deque[Node] = deque([self.root])
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for c_in in self.inflows[v]:
+                x = c_in + (1 if v in self.from_source else 0)
+                outs = {x}
+                if not self.binary.is_dump(v):
+                    outs.add(min(x, 1))  # the post-filter emission
+                for child in self.children[v]:
+                    self.inflows.setdefault(child, set()).update(outs)
+            queue.extend(self.children[v])
+        self.order = order
+
+        # cost[(v, c)] is a list over budgets 0..k of minimal subtree
+        # receipts; choice[(v, c, i)] records (is_filter, split) for
+        # reconstruction.
+        self.cost: dict[tuple[Node, int], list[float]] = {}
+        self.choice: dict[tuple[Node, int, int], tuple[bool, int]] = {}
+
+    # -- helpers --------------------------------------------------------
+
+    def _combine(
+        self,
+        left: list[float],
+        right: list[float],
+        budget: int,
+    ) -> tuple[float, int]:
+        """Min-plus combination: best split of ``budget`` over two tables."""
+        best = _INF
+        best_j = 0
+        for j in range(budget + 1):
+            total = left[j] + right[budget - j]
+            if total < best:
+                best = total
+                best_j = j
+        return best, best_j
+
+    def _table(self, v: Node, c_in: int) -> list[float]:
+        key = (v, c_in)
+        cached = self.cost.get(key)
+        if cached is not None:
+            return cached
+        raise GraphStructureError(
+            f"internal error: table for {key!r} evaluated out of order"
+        )
+
+    # -- main passes ----------------------------------------------------
+
+    def solve(self) -> int:
+        k = self.k
+        for v in reversed(self.order):
+            is_dump = self.binary.is_dump(v)
+            for c_in in self.inflows[v]:
+                x = c_in + (1 if v in self.from_source else 0)
+                own = 0 if is_dump else x
+                kids = self.children[v]
+                table: list[float] = [0.0] * (k + 1)
+                for i in range(k + 1):
+                    # Option 1: v stays a plain relay emitting x.
+                    if not kids:
+                        relay_cost, relay_split = 0.0, 0
+                    elif len(kids) == 1:
+                        relay_cost, relay_split = (
+                            self._table(kids[0], x)[i],
+                            i,
+                        )
+                    else:
+                        relay_cost, relay_split = self._combine(
+                            self._table(kids[0], x),
+                            self._table(kids[1], x),
+                            i,
+                        )
+                    best = own + relay_cost
+                    decision = (False, relay_split)
+
+                    # Option 2: v becomes a filter (real nodes, budget left).
+                    if not is_dump and i >= 1:
+                        e = min(x, 1)
+                        if not kids:
+                            filt_cost, filt_split = 0.0, 0
+                        elif len(kids) == 1:
+                            filt_cost, filt_split = (
+                                self._table(kids[0], e)[i - 1],
+                                i - 1,
+                            )
+                        else:
+                            filt_cost, filt_split = self._combine(
+                                self._table(kids[0], e),
+                                self._table(kids[1], e),
+                                i - 1,
+                            )
+                        if own + filt_cost < best:
+                            best = own + filt_cost
+                            decision = (True, filt_split)
+                    table[i] = best
+                    self.choice[(v, c_in, i)] = decision
+                self.cost[(v, c_in)] = table
+        return int(self._table(self.root, 0)[k])
+
+    def cost_without_filters(self) -> int:
+        """Receipt total with no filters — ``Φ(∅, V)`` on the tree."""
+        total = 0
+        stack: list[tuple[Node, int]] = [(self.root, 0)]
+        while stack:
+            v, c_in = stack.pop()
+            x = c_in + (1 if v in self.from_source else 0)
+            if not self.binary.is_dump(v):
+                total += x
+            for child in self.children[v]:
+                stack.append((child, x))
+        return total
+
+    def reconstruct(self) -> set[Node]:
+        chosen: set[Node] = set()
+        stack: list[tuple[Node, int, int]] = [(self.root, 0, self.k)]
+        while stack:
+            v, c_in, i = stack.pop()
+            x = c_in + (1 if v in self.from_source else 0)
+            is_filter, split = self.choice[(v, c_in, i)]
+            if is_filter:
+                chosen.add(v)
+                emit = min(x, 1)
+                remaining = i - 1
+            else:
+                emit = x
+                remaining = i
+            kids = self.children[v]
+            if len(kids) == 1:
+                stack.append((kids[0], emit, remaining))
+            elif len(kids) == 2:
+                stack.append((kids[0], emit, split))
+                stack.append((kids[1], emit, remaining - split))
+        return chosen

@@ -1,0 +1,39 @@
+"""Datasets: the paper's synthetic model and real-data substitutes.
+
+The evaluation of Section 5 uses one synthetic family and three real
+datasets (Memetracker "Quote", the Kwak et al. Twitter crawl, and the APS
+citation corpus).  The real datasets cannot be redistributed, so this
+package generates seeded substitutes that match the *published structural
+statistics* of each — sizes, degree distributions, sink fractions and the
+specific path-multiplicity features each figure demonstrates.  See
+``DESIGN.md`` §4 for the substitution rationale, and
+:mod:`repro.datasets.loaders` for running the pipeline on the real data if
+you have it.
+"""
+
+from repro.datasets.synthetic import layered_graph
+from repro.datasets.quote import quote_like_graph
+from repro.datasets.twitter import twitter_like_graph
+from repro.datasets.citation import citation_like_graph
+from repro.datasets.toy import (
+    fig1_graph,
+    fig2_like_graph,
+    fig3_like_graph,
+    fig10_sketch_graph,
+)
+from repro.datasets.loaders import load_real_dataset
+from repro.datasets.registry import DATASET_NAMES, get_dataset
+
+__all__ = [
+    "layered_graph",
+    "quote_like_graph",
+    "twitter_like_graph",
+    "citation_like_graph",
+    "fig1_graph",
+    "fig2_like_graph",
+    "fig3_like_graph",
+    "fig10_sketch_graph",
+    "load_real_dataset",
+    "get_dataset",
+    "DATASET_NAMES",
+]

@@ -1,0 +1,136 @@
+"""APS citation substitute — the G_Citation graph.
+
+The paper selects one 1997 Physical Review article and takes the subgraph
+of all APS papers reachable from it through citation edges (edge A → B
+when B cites A, so information flows from cited to citing).  Published
+statistics (Section 5, Figures 9 and 10):
+
+* 9,982 nodes and 36,070 edges, acyclic, single source;
+* power-law-ish in- and out-degree distributions;
+* a structural pathology (Figure 10): nine nodes, interconnected by a
+  path and all of in-degree one, through which *every* path from the
+  upper half of the graph to the lower half passes.  Each chain node has
+  a huge impact in isolation, but one filter at the top collapses the
+  rest — ``Greedy_Max`` buys the whole chain anyway and its FR curve goes
+  flat, while ``Greedy_All`` moves on (the Figure 9 separation).
+
+:func:`citation_like_graph` rebuilds exactly that: an upper
+preferential-attachment citation DAG grown from the source, a nine-node
+in-degree-one chain as the only bridge, and a lower block grown from the
+chain's end.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+#: The source article (the paper uses Rader et al., Phys. Rev. B 1997).
+CITATION_SOURCE = "paper_0"
+
+#: Length of the indegree-one bridge chain sketched in Figure 10.
+CHAIN_LENGTH = 9
+
+
+def _grow_citation_block(
+    rng: random.Random,
+    prefix: str,
+    size: int,
+    roots: list[str],
+    edges: list[tuple[str, str]],
+    *,
+    mean_refs: float = 3.5,
+) -> list[str]:
+    """Grow a preferential-attachment citation DAG under ``roots``.
+
+    Every new paper cites 1 + (heavy-tailed) earlier papers, chosen with
+    probability proportional to citations-so-far + 1 — the classic
+    cumulative-advantage model, which produces the power-law out-degrees
+    (citation counts) of real corpora.  Edges run old → new, keeping the
+    block a DAG, and every node ends up reachable from the roots.
+    """
+    nodes: list[str] = list(roots)
+    weights: dict[str, int] = {r: 1 for r in roots}
+    created: list[str] = []
+    base_refs = max(1, round(mean_refs - 1.6))
+    for i in range(size):
+        node = f"{prefix}{i}"
+        refs = 1 + rng.randint(0, 2 * base_refs) + min(_heavy_tail(rng), 14)
+        refs = min(refs, len(nodes))
+        # Weighted sampling without replacement (small refs, so a simple
+        # rejection loop is fine).
+        population = nodes
+        cites: set[str] = set()
+        attempts = 0
+        while len(cites) < refs and attempts < 20 * refs:
+            pick = rng.choices(
+                population,
+                weights=[weights[p] for p in population],
+                k=1,
+            )[0]
+            cites.add(pick)
+            attempts += 1
+        for cited in cites:
+            edges.append((cited, node))
+            weights[cited] += 1
+        nodes.append(node)
+        weights[node] = 1
+        created.append(node)
+    return created
+
+
+def _heavy_tail(rng: random.Random) -> int:
+    """A Zipf-ish non-negative integer: P(X ≥ x) ≈ x^(-1.6)."""
+    u = rng.random()
+    return int((1.0 - u) ** (-1.0 / 1.6)) - 1
+
+
+def citation_like_graph(
+    *,
+    seed: int = 0,
+    upper_size: int = 5000,
+    lower_size: int = 4972,
+    scale: float = 1.0,
+) -> CGraph:
+    """Generate an APS-citation substitute.
+
+    Defaults give 1 source + 5,000 upper papers + 9 chain papers + 4,972
+    lower papers = 9,982 nodes and ≈36k edges.  ``scale`` shrinks both
+    blocks for tests.
+    """
+    if scale <= 0:
+        raise ParameterError("scale must be positive")
+    rng = random.Random(seed)
+    n_upper = max(20, round(upper_size * scale))
+    n_lower = max(20, round(lower_size * scale))
+
+    edges: list[tuple[str, str]] = []
+    upper = _grow_citation_block(
+        rng, "up_", n_upper, [CITATION_SOURCE], edges
+    )
+
+    # The Figure-10 bridge: a review lineage c1 → … → c9, each citing only
+    # its predecessor (in-degree 1), descending from the upper paper with
+    # the most *received copies* — that is what makes every chain node
+    # high-impact (huge prefix, huge suffix) before any filter is placed.
+    from repro.propagation.engine import item_receipts
+
+    upper_graph = CGraph(
+        edges, nodes=[CITATION_SOURCE, *upper], sources=[CITATION_SOURCE]
+    )
+    receipts = item_receipts(upper_graph, CITATION_SOURCE)
+    top_upper = max(upper, key=lambda p: (receipts.get(p, 0), p))
+    chain = [f"chain_{i}" for i in range(CHAIN_LENGTH)]
+    edges.append((top_upper, chain[0]))
+    edges.extend(zip(chain, chain[1:]))
+
+    _grow_citation_block(rng, "low_", n_lower, [chain[-1]], edges)
+
+    all_nodes = [CITATION_SOURCE, *upper, *chain]
+    return CGraph(
+        sorted(set(edges)),
+        nodes=all_nodes,
+        sources=[CITATION_SOURCE],
+    )

@@ -1,0 +1,141 @@
+"""G_Phrase substitute — the Memetracker "lipstick on a pig" subgraph.
+
+The paper extracts, from Leskovec et al.'s Quote dataset, the subgraph of
+sites that used one phrase, runs ``Acyclic`` from every node and keeps the
+largest DAG.  Published statistics of the result (Section 5 and Figure 6):
+
+* 932 nodes, 2,703 edges, a single source;
+* ≈70 % of nodes are sinks;
+* ≈50 % of nodes have in-degree one;
+* a small set of nodes with both high in- and out-degree ("potentially
+  good candidates to become filters");
+* as few as **four** filters achieve perfect redundancy elimination
+  (Figure 7's steep FR curve).
+
+The original trace is not redistributable, so :func:`quote_like_graph`
+generates a seeded DAG engineered to those statistics.  The load-bearing
+property is the last one: exactly ``hub_count`` non-sink merge nodes exist
+(Proposition 1 then says ``hub_count`` filters suffice for FR = 1), every
+other interior node keeps in-degree ≤ 1, and sinks absorb the remaining
+edge mass with small random in-degrees, reproducing both the degree CDF
+shape of Figure 6 and the steep curve of Figure 7.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+#: Node id of the single source (the phrase's initiator site).
+QUOTE_SOURCE = "origin"
+
+
+def quote_like_graph(
+    *,
+    seed: int = 0,
+    hub_count: int = 4,
+    distributors: int = 36,
+    relays: int = 240,
+    sinks: int = 651,
+    scale: float = 1.0,
+) -> CGraph:
+    """Generate a Quote-dataset substitute.
+
+    Default parameters yield 932 nodes (1 source + 36 distributors + 240
+    relays + 4 hubs + 651 sinks) and ≈2.7k edges, matching the published
+    size.  ``scale`` shrinks every population proportionally (minimum
+    sizes keep the structure intact) for fast tests.
+
+    Structure
+    ---------
+    ``origin → distributors → relays`` forms in-degree-1 cascade trees
+    (Memetracker's long chains of blogs quoting one upstream site);
+    distributors and relays additionally feed the ``hub_count`` hubs (the
+    mainstream-media aggregation sites), which are the only non-sink
+    merge nodes; hubs and relays then fan out to sinks, which may hear the
+    phrase from several places.
+    """
+    if scale <= 0:
+        raise ParameterError("scale must be positive")
+    if hub_count < 1:
+        raise ParameterError("need at least one hub")
+    rng = random.Random(seed)
+
+    n_dist = max(3, round(distributors * scale))
+    n_relay = max(6, round(relays * scale))
+    n_sink = max(10, round(sinks * scale))
+
+    dist_nodes = [f"d{i}" for i in range(n_dist)]
+    relay_nodes = [f"r{i}" for i in range(n_relay)]
+    hub_nodes = [f"h{i}" for i in range(hub_count)]
+    sink_nodes = [f"k{i}" for i in range(n_sink)]
+
+    edges: list[tuple[str, str]] = []
+
+    # Source feeds every distributor: distributors have in-degree exactly 1.
+    edges.extend((QUOTE_SOURCE, d) for d in dist_nodes)
+
+    # Each relay hangs under exactly one distributor (in-degree 1).
+    for r in relay_nodes:
+        edges.append((rng.choice(dist_nodes), r))
+
+    # Hubs aggregate: every hub hears from several distributors/relays,
+    # making them the only interior merge nodes.
+    feeders = dist_nodes + relay_nodes
+    for h in hub_nodes:
+        fan_in = rng.randint(8, max(9, len(feeders) // 7))
+        for f in rng.sample(feeders, min(fan_in, len(feeders))):
+            edges.append((f, h))
+
+    # A short hub chain (h0 → h1 → …) deepens the redundant corridor the
+    # way big aggregators re-syndicate each other.
+    for a, b in zip(hub_nodes, hub_nodes[1:]):
+        edges.append((a, b))
+
+    # Sinks: roughly a third hear the phrase exactly once; the rest hear
+    # it from a geometric-tailed handful of places.  Hubs carry most of
+    # the spreading mass (the long right tail of Figure 6's CDF belongs
+    # to sinks and hubs).
+    spreaders = hub_nodes + relay_nodes
+    weights = [n_relay // 2 for _ in hub_nodes] + [1] * n_relay
+    for s in sink_nodes:
+        if rng.random() < 0.35:
+            fan_in = 1
+        else:
+            fan_in = min(2 + _geometric(rng, 0.30), 12)
+        chosen = _weighted_sample(rng, spreaders, weights, fan_in)
+        for c in chosen:
+            edges.append((c, s))
+
+    # Every hub must keep spreading (dout > 0) so the merge-node set —
+    # and with it Proposition 1's perfect filter set — is exactly the hubs.
+    for h in hub_nodes:
+        edges.append((h, rng.choice(sink_nodes)))
+
+    nodes = [QUOTE_SOURCE, *dist_nodes, *relay_nodes, *hub_nodes, *sink_nodes]
+    return CGraph(sorted(set(edges)), nodes=nodes, sources=[QUOTE_SOURCE])
+
+
+def _geometric(rng: random.Random, stop: float) -> int:
+    """Number of failures before a Bernoulli(stop) success (≥ 0)."""
+    count = 0
+    while rng.random() > stop:
+        count += 1
+    return count
+
+
+def _weighted_sample(
+    rng: random.Random,
+    population: list[str],
+    weights: list[int],
+    k: int,
+) -> set[str]:
+    """Up to ``k`` distinct weighted draws (simple rejection loop)."""
+    chosen: set[str] = set()
+    attempts = 0
+    while len(chosen) < k and attempts < 20 * k:
+        chosen.add(rng.choices(population, weights=weights, k=1)[0])
+        attempts += 1
+    return chosen

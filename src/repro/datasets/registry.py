@@ -1,0 +1,49 @@
+"""Name-based dataset lookup for the CLI, experiments and benchmarks."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.datasets.citation import citation_like_graph
+from repro.datasets.quote import quote_like_graph
+from repro.datasets.synthetic import dense_synthetic, sparse_synthetic
+from repro.datasets.toy import (
+    fig1_graph,
+    fig2_like_graph,
+    fig3_like_graph,
+    fig10_sketch_graph,
+)
+from repro.datasets.twitter import twitter_like_graph
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+_GENERATORS: dict[str, Callable[..., CGraph]] = {
+    "synthetic-sparse": sparse_synthetic,
+    "synthetic-dense": dense_synthetic,
+    "quote": quote_like_graph,
+    "twitter": twitter_like_graph,
+    "citation": citation_like_graph,
+    "fig1": lambda **kw: fig1_graph(),
+    "fig2": lambda **kw: fig2_like_graph(),
+    "fig3": lambda **kw: fig3_like_graph(),
+    "fig10": lambda **kw: fig10_sketch_graph(),
+}
+
+#: All dataset names, in presentation order.
+DATASET_NAMES: tuple[str, ...] = tuple(_GENERATORS)
+
+
+def get_dataset(name: str, **kwargs) -> CGraph:
+    """Generate the dataset registered under ``name``.
+
+    Keyword arguments (``seed``, ``scale``, …) pass through to the
+    generator; toy figures accept and ignore them.
+    """
+    try:
+        factory = _GENERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise ParameterError(
+            f"unknown dataset {name!r}; known datasets: {known}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,110 @@
+"""The paper's synthetic graph model (Section 5, "Results using synthetic
+datasets").
+
+Nodes are assigned uniformly at random to ``levels`` levels (expected
+``nodes_per_level`` nodes each); a directed edge runs from node ``v`` in
+level ``i`` to node ``u`` in level ``j > i`` with probability
+
+    ``p(v, u) = x / y^(j - i)``
+
+so nearby levels connect densely and distant levels sparsely.  The paper
+evaluates ``(x, y) = (1, 4)`` — 1026 nodes / 32427 edges — and
+``(x, y) = (3, 4)`` — 1069 nodes / 101226 edges.
+
+The paper does not state how the item enters the graph; we attach a single
+source feeding every level-1 node, which preserves the property it relies
+on ("nodes on the same level have similar properties; the expected number
+and length of paths going through them is the same").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+#: Node id of the attached super-source.
+SYNTHETIC_SOURCE = "source"
+
+
+def layered_graph(
+    levels: int = 10,
+    nodes_per_level: int = 100,
+    *,
+    x: float = 1.0,
+    y: float = 4.0,
+    seed: int = 0,
+    attach_source: bool = True,
+) -> CGraph:
+    """Generate one layered synthetic c-graph.
+
+    Parameters
+    ----------
+    levels, nodes_per_level:
+        Level count and the *expected* population of each level (the paper
+        uses 10 levels of expected size 100).
+    x, y:
+        Density knobs of the edge probability ``x / y^(j-i)``.  The paper's
+        two configurations are ``x=1, y=4`` (sparse, ≈32k edges) and
+        ``x=3, y=4`` (dense, ≈100k edges).
+    seed:
+        Seeds both the level assignment and the edge coin flips.
+    attach_source:
+        Attach :data:`SYNTHETIC_SOURCE` feeding every node of the first
+        level; disable to get the bare layered DAG.
+    """
+    if levels < 2:
+        raise ParameterError("need at least 2 levels")
+    if nodes_per_level < 1:
+        raise ParameterError("nodes_per_level must be positive")
+    if y <= 1.0:
+        raise ParameterError("y must exceed 1 so probabilities decay")
+    rng = random.Random(seed)
+    total = levels * nodes_per_level
+
+    level_of: dict[int, int] = {
+        node: rng.randrange(levels) for node in range(total)
+    }
+    by_level: list[list[int]] = [[] for _ in range(levels)]
+    for node, level in level_of.items():
+        by_level[level].append(node)
+
+    edges: list[tuple[object, object]] = []
+    for i in range(levels):
+        for j in range(i + 1, levels):
+            p = x / (y ** (j - i))
+            if p <= 0.0:
+                continue
+            p = min(1.0, p)
+            for v in by_level[i]:
+                for u in by_level[j]:
+                    if rng.random() < p:
+                        edges.append((v, u))
+
+    if attach_source:
+        for u in by_level[0]:
+            edges.append((SYNTHETIC_SOURCE, u))
+        return CGraph(
+            edges,
+            nodes=list(range(total)) + [SYNTHETIC_SOURCE],
+            sources=[SYNTHETIC_SOURCE],
+        )
+    return CGraph(edges, nodes=range(total))
+
+
+def sparse_synthetic(seed: int = 0, *, scale: float = 1.0) -> CGraph:
+    """The paper's ``x/y = 1/4`` configuration (Figures 4(a), 5(a)).
+
+    ``scale`` shrinks the expected level population for fast CI runs.
+    """
+    return layered_graph(
+        nodes_per_level=max(2, round(100 * scale)), x=1.0, y=4.0, seed=seed
+    )
+
+
+def dense_synthetic(seed: int = 0, *, scale: float = 1.0) -> CGraph:
+    """The paper's ``x/y = 3/4`` configuration (Figures 4(b), 5(b))."""
+    return layered_graph(
+        nodes_per_level=max(2, round(100 * scale)), x=3.0, y=4.0, seed=seed
+    )

@@ -1,0 +1,92 @@
+"""The paper's illustrative toy graphs.
+
+* :func:`fig1_graph` — Figure 1's syndicated-news network, reproduced
+  exactly (the arXiv text fully specifies it).
+* :func:`fig2_like_graph` / :func:`fig3_like_graph` — the text rendering
+  of the arXiv source lost Figures 2 and 3's edge lists, so these are
+  reconstructions that provably exhibit the *documented phenomena* (the
+  stated totals 14 and 26 are unrecoverable; tests assert the phenomena
+  instead — see DESIGN.md §4).
+* :func:`fig10_sketch_graph` — a miniature of the APS pathology sketch.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.cgraph import CGraph
+
+
+def fig1_graph() -> CGraph:
+    """Figure 1: source ``s``, distributors ``x, y``, consumers ``z1..z3, w``.
+
+    One item from ``s`` yields receipts x:1, y:1, z1:1, z2:2, z3:1 and
+    w:(1+2+1)=4 — the paper's worked multiplicity example.  The unique
+    useful filter is ``z2``; ``x`` and ``y`` have the highest betweenness
+    centrality yet zero impact (the Section 2 argument).
+    """
+    return CGraph([
+        ("s", "x"), ("s", "y"),
+        ("x", "z1"), ("x", "z2"),
+        ("y", "z2"), ("y", "z3"),
+        ("z1", "w"), ("z2", "w"), ("z3", "w"),
+    ])
+
+
+def fig2_like_graph() -> CGraph:
+    """A Figure-2-like instance: ``Greedy_1``'s degree myopia.
+
+    Node ``B`` has the largest degree product ``m(B) = 1 × 4 = 4`` but
+    receives a single copy, so filtering it achieves nothing.  Node ``A``
+    (``m(A) = 3 × 1``) sits below the real multiplicity and is the unique
+    optimal single filter.  Tests certify both facts exactly.
+    """
+    return CGraph([
+        ("s", "B"),
+        ("B", "c1"), ("B", "c2"), ("B", "c3"), ("B", "c4"),
+        ("c1", "A"), ("c2", "A"), ("c3", "A"),
+        ("A", "w"),
+    ])
+
+
+def fig3_like_graph() -> CGraph:
+    """A Figure-3-like instance: ``Greedy_All`` is suboptimal for k = 2.
+
+    The middle node ``A`` aggregates both branches and has the single
+    largest impact (I(A) = 5), so greedy takes it first; but the optimal
+    pair is the two branch nodes {B, C} (F = 8 versus greedy's 7).
+    Mirrors the paper's Figure 3, where greedy picks {A, C} over the
+    optimal {B, C}.
+    """
+    return CGraph([
+        ("s", "b1"), ("s", "b2"), ("s", "b3"),
+        ("s", "c1"), ("s", "c2"), ("s", "c3"),
+        ("b1", "B"), ("b2", "B"), ("b3", "B"),
+        ("c1", "C"), ("c2", "C"), ("c3", "C"),
+        ("B", "A"), ("C", "A"),
+        ("A", "t"),
+    ])
+
+
+def fig10_sketch_graph(chain_length: int = 9) -> CGraph:
+    """A miniature of Figure 10's APS pathology.
+
+    An upper diamond multiplies the item (``h`` receives 4 copies), a
+    ``chain_length``-node in-degree-one path carries all of it to the
+    lower half, and a lower diamond multiplies it again.  Every chain node
+    has a large standalone impact, but filtering any one collapses the
+    impact of the rest — ``Greedy_Max`` buys the chain anyway, its FR
+    stays flat, and ``Greedy_All`` escapes after one pick.
+    """
+    edges: list[tuple[str, str]] = [
+        ("s", "u1"), ("s", "u2"), ("s", "u3"), ("s", "u4"),
+        ("u1", "h"), ("u2", "h"), ("u3", "h"), ("u4", "h"),
+        ("h", "x1"),
+    ]
+    for i in range(1, chain_length):
+        edges.append((f"x{i}", f"x{i + 1}"))
+    last = f"x{chain_length}"
+    edges.extend([
+        (last, "l1"), (last, "l2"),
+        ("l1", "m"), ("l2", "m"),
+        ("m", "t1"), ("m", "t2"),
+    ])
+    return CGraph(edges)

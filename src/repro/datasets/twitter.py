@@ -1,0 +1,135 @@
+"""Twitter substitute — the "sigcomm09" follower cascade.
+
+The paper's Twitter graph is built from the Kwak et al. 2010 crawl: a
+six-level BFS from user "sigcomm09", restricted to computer-science
+profiles.  Published statistics (Section 5, Figure 8):
+
+* ≈90k nodes, ≈120k edges, one root, acyclic;
+* out-going edges per level grow exponentially —
+  2, 16, 194, 43,993, 80,639 for levels 1…5;
+* very sparse (almost a tree), so ``Greedy_All`` removes *all* redundancy
+  with about six filters and the other heuristics need at most ten.
+
+:func:`twitter_like_graph` rebuilds that shape: a level-structured cascade
+with exactly the published per-level out-edge counts (scaled by ``scale``),
+where all interior nodes keep in-degree one except ``merge_interior``
+deliberately duplicated ones — the handful of users followed across
+branches — and the last level absorbs the remaining edge mass as sinks
+with small random in-degrees.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+#: The crawl root.
+TWITTER_ROOT = "sigcomm09"
+
+#: Out-edge counts per BFS level (levels 1..5) reported in the paper.
+PAPER_LEVEL_OUT_EDGES: tuple[int, ...] = (2, 16, 194, 43_993, 80_639)
+
+#: Approximate share of level-4→5 edges that land on *distinct* sinks.
+#: 90k total nodes minus the interior population leaves ≈45.8k sinks for
+#: 80,639 incoming edges — about 1.76 edges per sink.
+_SINK_EDGE_SHARE = 0.57
+
+
+def twitter_like_graph(
+    *,
+    seed: int = 0,
+    scale: float = 1.0,
+    merge_interior: int = 6,
+) -> CGraph:
+    """Generate a Twitter-crawl substitute.
+
+    Parameters
+    ----------
+    scale:
+        Multiplies every per-level edge count; ``scale=1`` reproduces the
+        published ≈90k-node/≈125k-edge size, ``scale=0.01`` a sub-second
+        test instance with identical shape.
+    merge_interior:
+        Number of interior (non-sink) nodes given a second parent.  These
+        are the only redundancy-creating interior nodes, so ``Greedy_All``
+        reaches FR = 1 with exactly this many filters — the Figure 8
+        behaviour.
+    """
+    if scale <= 0:
+        raise ParameterError("scale must be positive")
+    if merge_interior < 0:
+        raise ParameterError("merge_interior must be non-negative")
+    rng = random.Random(seed)
+
+    out_edges = [max(2, round(c * scale)) for c in PAPER_LEVEL_OUT_EDGES]
+
+    levels: list[list[str]] = [[TWITTER_ROOT]]
+    edges: list[tuple[str, str]] = []
+
+    # Interior levels 1..4: each level's population equals the previous
+    # level's out-edge count (tree growth); every node gets exactly one
+    # parent, chosen with a squared-uniform bias so a few parents become
+    # the big fan-out hubs observed in follower graphs.
+    for depth, count in enumerate(out_edges[:-1], start=1):
+        level_nodes = [f"L{depth}_{i}" for i in range(count)]
+        parents = levels[-1]
+        for i, node in enumerate(level_nodes):
+            if i < len(parents):
+                parent = parents[i]  # guarantee every parent spreads
+            else:
+                parent = parents[min(
+                    int(rng.random() ** 2 * len(parents)),
+                    len(parents) - 1,
+                )]
+            edges.append((parent, node))
+        levels.append(level_nodes)
+
+    # Final level: sinks shared among the last interior level's edges.
+    last_out = out_edges[-1]
+    sink_count = max(2, round(last_out * _SINK_EDGE_SHARE))
+    sinks = [f"L5_{i}" for i in range(sink_count)]
+    spreaders = levels[-1]
+    seen_follow: set[tuple[str, str]] = set()
+    for i in range(last_out):
+        parent = spreaders[min(
+            int(rng.random() ** 2 * len(spreaders)),
+            len(spreaders) - 1,
+        )]
+        if i < sink_count:
+            sink = sinks[i]  # cover every sink at least once
+        else:
+            sink = sinks[rng.randrange(sink_count)]
+        if (parent, sink) in seen_follow:
+            continue  # the same user cannot follow someone twice
+        seen_follow.add((parent, sink))
+        edges.append((parent, sink))
+
+    # Cross-branch follows: give `merge_interior` interior nodes a second
+    # parent from the level above (never creating a cycle), the sole
+    # sources of interior redundancy.  Only spreading nodes qualify — a
+    # double-parented *sink* would add receipts but no merge node.
+    spreading = {u for u, _ in edges}
+    interior_pool = [
+        (depth, node)
+        for depth in range(2, len(levels))
+        for node in levels[depth]
+        if node in spreading
+    ]
+    rng.shuffle(interior_pool)
+    existing = set(edges)
+    added = 0
+    for depth, node in interior_pool:
+        if added >= merge_interior:
+            break
+        candidates = [p for p in levels[depth - 1] if (p, node) not in existing]
+        if not candidates:
+            continue
+        parent = rng.choice(candidates)
+        edges.append((parent, node))
+        existing.add((parent, node))
+        added += 1
+
+    all_nodes = [node for level in levels for node in level] + sinks
+    return CGraph(edges, nodes=all_nodes, sources=[TWITTER_ROOT])

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The finer-grained
+subclasses distinguish the three failure families that matter in practice:
+malformed graphs, invalid algorithm parameters, and propagation that cannot
+terminate (cycles reachable from a source under the deterministic relay
+model).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphStructureError(ReproError):
+    """The supplied graph violates a structural requirement.
+
+    Examples: a DAG-only routine received a cyclic graph, a c-tree routine
+    received a non-tree, a node id was referenced that is not in the graph.
+    """
+
+
+class CyclicGraphError(GraphStructureError):
+    """A directed cycle was found where an acyclic graph was required."""
+
+
+class MissingNodeError(GraphStructureError):
+    """A referenced node id does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class MissingSourceError(GraphStructureError):
+    """An operation needing at least one source found none."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm received an invalid parameter (e.g. negative ``k``)."""
+
+
+class DivergentPropagationError(ReproError):
+    """Deterministic propagation would relay infinitely many copies.
+
+    Raised by the message-passing simulator when an item reaches a directed
+    cycle and no filter breaks the loop (see Theorem 1 of the paper, whose
+    SetCover gadget relies on exactly this blow-up).
+    """
+
+    def __init__(self, message: str = "", *, steps: int | None = None) -> None:
+        if not message:
+            message = "propagation did not terminate (cycle reachable from a source)"
+        if steps is not None:
+            message = f"{message} after {steps} relay steps"
+        super().__init__(message)
+        self.steps = steps

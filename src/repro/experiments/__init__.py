@@ -1,0 +1,25 @@
+"""Experiment drivers — one module per paper figure.
+
+Every module exposes ``run(**knobs) -> ExperimentResult`` regenerating the
+rows/series the corresponding figure plots:
+
+=========  =========================================================
+fig4       in-degree CDFs of the two synthetic graphs
+fig5       FR vs k on the synthetic graphs, all seven algorithms
+fig6       in-degree CDF of the Quote-like graph
+fig7       FR vs k on the Quote-like graph
+fig8       FR vs k on the Twitter-like graph
+fig9       FR vs k on the citation-like graph
+fig10      the chain pathology, isolated (G_Max plateau)
+fig11      wall-clock seconds to place ten filters (Twitter-like)
+tabled     dataset-summary statistics quoted in Section 5's prose
+=========  =========================================================
+
+``python -m repro.experiments.runner all`` runs everything and prints the
+tables; the benchmarks wrap the same ``run`` functions.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENT_NAMES, get_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENT_NAMES", "get_experiment"]

@@ -1,0 +1,33 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    Attributes
+    ----------
+    experiment:
+        Registry name (``"fig7"`` …).
+    title:
+        Human-readable description including the paper artifact.
+    body:
+        Pre-rendered text (tables) matching what the paper's figure shows.
+    series:
+        Machine-readable numbers for assertions and downstream tooling:
+        figure-specific structure, documented per driver.
+    """
+
+    experiment: str
+    title: str
+    body: str
+    series: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        bar = "=" * min(72, max(len(self.title), 20))
+        return f"{self.title}\n{bar}\n{self.body}\n"

@@ -1,0 +1,45 @@
+"""Experiment registry: name → driver module's ``run``."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    tabled,
+)
+from repro.experiments.base import ExperimentResult
+
+_DRIVERS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "tabled": tabled.run,
+}
+
+#: All experiment names, in figure order.
+EXPERIMENT_NAMES: tuple[str, ...] = tuple(_DRIVERS)
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable of the experiment registered under ``name``."""
+    try:
+        return _DRIVERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_DRIVERS))
+        raise ParameterError(
+            f"unknown experiment {name!r}; known experiments: {known}"
+        ) from None

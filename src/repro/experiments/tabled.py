@@ -1,0 +1,44 @@
+"""Dataset-summary statistics ("Table D").
+
+The paper has no numbered tables; Section 5's prose quotes per-dataset
+node/edge counts and structural fractions.  This driver collects them for
+every dataset in one table so EXPERIMENTS.md can compare against the
+published numbers:
+
+* synthetic x/y=1/4 — 1026 nodes, 32,427 edges;
+* synthetic x/y=3/4 — 1069 nodes, 101,226 edges;
+* Quote subgraph — 932 nodes, 2,703 edges, ~70 % sinks, ~50 % in-degree 1;
+* Twitter crawl — ~90k nodes, ~120k edges;
+* APS citation subgraph — 9,982 nodes, 36,070 edges.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import describe
+from repro.analysis.report import format_stats_table
+from repro.datasets.citation import citation_like_graph
+from repro.datasets.quote import quote_like_graph
+from repro.datasets.synthetic import dense_synthetic, sparse_synthetic
+from repro.datasets.twitter import twitter_like_graph
+from repro.experiments.base import ExperimentResult
+
+
+def run(*, seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    stats = {
+        "synthetic x/y=1/4": describe(sparse_synthetic(seed=seed, scale=scale)),
+        "synthetic x/y=3/4": describe(dense_synthetic(seed=seed, scale=scale)),
+        "quote-like": describe(quote_like_graph(seed=seed, scale=scale)),
+        "twitter-like": describe(twitter_like_graph(seed=seed, scale=scale)),
+        "citation-like": describe(citation_like_graph(seed=seed, scale=scale)),
+    }
+    body = format_stats_table(stats)
+    return ExperimentResult(
+        experiment="tabled",
+        title="Dataset summary (Section 5 in-text statistics)",
+        body=body,
+        series={name: vars(s) for name, s in stats.items()},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

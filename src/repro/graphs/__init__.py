@@ -1,0 +1,57 @@
+"""Graph substrate for the filter-placement library.
+
+This subpackage provides the *communication graph* (c-graph) data structure
+from Section 3 of the paper plus every graph-level routine the algorithms
+rely on: traversals, DAG validation, the ``Acyclic`` maximal-acyclic-subgraph
+algorithm (Section 4.3), the c-tree to binary-tree transformation
+(Section 4.1) and simple edge-list I/O.
+"""
+
+from repro.graphs.cgraph import CGraph
+from repro.graphs.traversal import (
+    bfs_levels,
+    dfs_forest,
+    reachable_from,
+    topological_order,
+)
+from repro.graphs.validation import (
+    check_dag,
+    ensure_single_source,
+    is_ctree,
+    reachable_subgraph,
+)
+from repro.graphs.acyclic import (
+    acyclic_subgraph,
+    acyclic_subgraph_dfs,
+    acyclic_subgraph_signature,
+    largest_acyclic_subgraph,
+)
+from repro.graphs.binary_tree import BinarizedTree, binarize_ctree
+from repro.graphs.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+__all__ = [
+    "CGraph",
+    "topological_order",
+    "dfs_forest",
+    "reachable_from",
+    "bfs_levels",
+    "check_dag",
+    "ensure_single_source",
+    "is_ctree",
+    "reachable_subgraph",
+    "acyclic_subgraph",
+    "acyclic_subgraph_dfs",
+    "acyclic_subgraph_signature",
+    "largest_acyclic_subgraph",
+    "BinarizedTree",
+    "binarize_ctree",
+    "read_edge_list",
+    "write_edge_list",
+    "read_json_graph",
+    "write_json_graph",
+]

@@ -1,0 +1,413 @@
+"""The communication graph (c-graph) data structure.
+
+Section 3 of the paper models an information network as a directed graph
+``G(V, E)`` in which designated *source* nodes generate items and every other
+node blindly relays received copies to all out-neighbours.  :class:`CGraph`
+captures exactly that: a simple directed graph plus a set of source nodes.
+
+Design notes
+------------
+* **Immutability.**  A :class:`CGraph` never changes after construction.
+  Algorithms that "modify" a graph (adding a super-source, dropping edges to
+  break cycles, ...) build a new instance.  Immutability lets the class cache
+  derived data (degree tables, a topological order) safely, which the
+  placement algorithms query heavily.
+* **Hashable node ids.**  Nodes may be any hashable Python objects: ints,
+  strings, tuples.  The dataset generators use ints and short strings.
+* **Sources.**  The paper treats sources as the origins of *distinct* items.
+  If no explicit source set is given we default to the nodes with in-degree
+  zero, which matches every dataset in the paper's evaluation (each has a
+  single root after pre-processing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+from repro.exceptions import (
+    GraphStructureError,
+    MissingNodeError,
+    MissingSourceError,
+    ParameterError,
+)
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class CGraph:
+    """An immutable directed communication graph.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs meaning *u relays items to v*.
+        Parallel duplicate edges are rejected (the propagation model of the
+        paper is defined on simple digraphs); self-loops are rejected because
+        a node relaying to itself would loop forever under blind relaying.
+    nodes:
+        Optional extra nodes that may not appear in any edge (isolated
+        nodes are legal and occasionally produced by subgraph operations).
+    sources:
+        Optional explicit source set.  Defaults to all nodes with in-degree
+        zero.  Sources are the nodes that *generate* items; they are allowed
+        to have incoming edges when given explicitly (the paper's SetCover
+        gadget wires a source into a cyclic core).
+
+    Examples
+    --------
+    The toy network of Figure 1::
+
+        >>> g = CGraph([
+        ...     ("s", "x"), ("s", "y"),
+        ...     ("x", "z1"), ("x", "z2"), ("y", "z2"), ("y", "z3"),
+        ...     ("z1", "w"), ("z2", "w"), ("z3", "w"),
+        ... ])
+        >>> sorted(g.sources)
+        ['s']
+        >>> g.in_degree("z2"), g.out_degree("z2")
+        (2, 1)
+    """
+
+    __slots__ = (
+        "_succ",
+        "_pred",
+        "_nodes",
+        "_sources",
+        "_num_edges",
+        "_topo_cache",
+        "_is_dag_cache",
+    )
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] = (),
+        *,
+        nodes: Iterable[Node] = (),
+        sources: Iterable[Node] | None = None,
+    ) -> None:
+        succ: dict[Node, list[Node]] = {}
+        pred: dict[Node, list[Node]] = {}
+        seen: set[Edge] = set()
+
+        def ensure(node: Node) -> None:
+            if node not in succ:
+                succ[node] = []
+                pred[node] = []
+
+        for u, v in edges:
+            if u == v:
+                raise GraphStructureError(
+                    f"self-loop {u!r} -> {v!r} is not allowed in a c-graph"
+                )
+            if (u, v) in seen:
+                raise GraphStructureError(f"duplicate edge {u!r} -> {v!r}")
+            seen.add((u, v))
+            ensure(u)
+            ensure(v)
+            succ[u].append(v)
+            pred[v].append(u)
+
+        for node in nodes:
+            ensure(node)
+
+        self._succ: dict[Node, tuple[Node, ...]] = {
+            u: tuple(vs) for u, vs in succ.items()
+        }
+        self._pred: dict[Node, tuple[Node, ...]] = {
+            v: tuple(us) for v, us in pred.items()
+        }
+        self._nodes: tuple[Node, ...] = tuple(self._succ)
+        self._num_edges = len(seen)
+
+        if sources is None:
+            source_set = frozenset(
+                node for node in self._nodes if not self._pred[node]
+            )
+        else:
+            source_set = frozenset(sources)
+            for s in source_set:
+                if s not in self._succ:
+                    raise MissingNodeError(s)
+        self._sources: frozenset[Node] = source_set
+        self._topo_cache: tuple[Node, ...] | None = None
+        self._is_dag_cache: bool | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def sources(self) -> frozenset[Node]:
+        """The item-generating nodes."""
+        return self._sources
+
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes, in insertion order (stable across runs)."""
+        return self._nodes
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all ``(u, v)`` edges in insertion order."""
+        for u in self._nodes:
+            for v in self._succ[u]:
+                yield (u, v)
+
+    def successors(self, node: Node) -> tuple[Node, ...]:
+        """Out-neighbours of ``node`` (the nodes it relays items to)."""
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def predecessors(self, node: Node) -> tuple[Node, ...]:
+        """In-neighbours of ``node`` (the nodes it receives items from)."""
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise MissingNodeError(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node`` (``din`` in the paper)."""
+        return len(self.predecessors(node))
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node`` (``dout`` in the paper)."""
+        return len(self.successors(node))
+
+    def number_of_nodes(self) -> int:
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        return self._num_edges
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._succ and v in self._succ[u]
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CGraph(n={self.number_of_nodes()}, m={self.number_of_edges()}, "
+            f"sources={len(self._sources)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived node families
+    # ------------------------------------------------------------------
+
+    def sinks(self) -> tuple[Node, ...]:
+        """Nodes with no outgoing edges."""
+        return tuple(v for v in self._nodes if not self._succ[v])
+
+    def merge_nodes(self) -> tuple[Node, ...]:
+        """Non-sink nodes with in-degree greater than one.
+
+        Proposition 1 of the paper: placing a filter on *every* merge node
+        (and nowhere else) is the unique minimal filter set achieving the
+        maximum objective value ``F(V)``.
+        """
+        return tuple(
+            v
+            for v in self._nodes
+            if len(self._pred[v]) > 1 and self._succ[v]
+        )
+
+    def max_degree(self) -> int:
+        """``Δ``: the maximum of in- and out-degrees over all nodes."""
+        if not self._nodes:
+            return 0
+        return max(
+            max(len(self._succ[v]), len(self._pred[v])) for v in self._nodes
+        )
+
+    # ------------------------------------------------------------------
+    # Structure queries (cached because the graph is immutable)
+    # ------------------------------------------------------------------
+
+    def is_dag(self) -> bool:
+        """True when the graph has no directed cycle."""
+        if self._is_dag_cache is None:
+            self._is_dag_cache = self._compute_topological_order() is not None
+        return self._is_dag_cache
+
+    def topological_order(self) -> tuple[Node, ...]:
+        """A topological order of the nodes.
+
+        Raises
+        ------
+        GraphStructureError
+            If the graph contains a directed cycle.
+        """
+        order = self._compute_topological_order()
+        if order is None:
+            from repro.exceptions import CyclicGraphError
+
+            raise CyclicGraphError("graph contains a directed cycle")
+        return order
+
+    def _compute_topological_order(self) -> tuple[Node, ...] | None:
+        if self._topo_cache is not None:
+            return self._topo_cache
+        if self._is_dag_cache is False:
+            return None
+        indeg = {v: len(self._pred[v]) for v in self._nodes}
+        stack = [v for v in self._nodes if indeg[v] == 0]
+        order: list[Node] = []
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            for u in self._succ[v]:
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    stack.append(u)
+        if len(order) != len(self._nodes):
+            self._is_dag_cache = False
+            return None
+        self._topo_cache = tuple(order)
+        self._is_dag_cache = True
+        return self._topo_cache
+
+    # ------------------------------------------------------------------
+    # Constructive operations (return new graphs)
+    # ------------------------------------------------------------------
+
+    def with_sources(self, sources: Iterable[Node]) -> "CGraph":
+        """A copy of this graph with a different designated source set."""
+        return CGraph(self.edges(), nodes=self._nodes, sources=sources)
+
+    def subgraph(self, keep: Iterable[Node]) -> "CGraph":
+        """The induced subgraph on ``keep``.
+
+        Sources of the result are the retained original sources; if none
+        survive, sources default to in-degree-zero nodes of the subgraph.
+        """
+        keep_set = set(keep)
+        for node in keep_set:
+            if node not in self._succ:
+                raise MissingNodeError(node)
+        edges = [
+            (u, v) for u, v in self.edges() if u in keep_set and v in keep_set
+        ]
+        surviving_sources = self._sources & keep_set
+        return CGraph(
+            edges,
+            nodes=keep_set,
+            sources=surviving_sources if surviving_sources else None,
+        )
+
+    def reversed(self) -> "CGraph":
+        """The graph with every edge direction flipped.
+
+        The sources of the reversed graph default to its in-degree-zero
+        nodes (the sinks of this graph).
+        """
+        return CGraph(
+            ((v, u) for u, v in self.edges()), nodes=self._nodes
+        )
+
+    def without_edges(self, drop: Iterable[Edge]) -> "CGraph":
+        """A copy of this graph with the edges in ``drop`` removed."""
+        drop_set = set(drop)
+        for u, v in drop_set:
+            if not self.has_edge(u, v):
+                raise GraphStructureError(
+                    f"cannot drop missing edge {u!r} -> {v!r}"
+                )
+        kept_sources = self._sources if self._sources else None
+        return CGraph(
+            (e for e in self.edges() if e not in drop_set),
+            nodes=self._nodes,
+            sources=kept_sources,
+        )
+
+    def with_edges(self, add: Iterable[Edge]) -> "CGraph":
+        """A copy of this graph with the edges in ``add`` inserted."""
+        new_edges = list(self.edges())
+        new_edges.extend(add)
+        kept_sources = self._sources if self._sources else None
+        graph = CGraph(new_edges, nodes=self._nodes, sources=kept_sources)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Interoperability
+    # ------------------------------------------------------------------
+
+    def to_networkx(self) -> "Any":
+        """Convert to a :class:`networkx.DiGraph`.
+
+        Source membership is recorded in the ``source`` node attribute so a
+        round-trip through :meth:`from_networkx` is lossless.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for node in self._nodes:
+            g.add_node(node, source=node in self._sources)
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, graph: "Any") -> "CGraph":
+        """Build a :class:`CGraph` from a :class:`networkx.DiGraph`.
+
+        Nodes flagged with a truthy ``source`` attribute become sources; if
+        no node carries the attribute, sources default to in-degree-zero
+        nodes.
+        """
+        flagged = [
+            node
+            for node, data in graph.nodes(data=True)
+            if data.get("source", False)
+        ]
+        return cls(
+            graph.edges(),
+            nodes=graph.nodes(),
+            sources=flagged if flagged else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Mapping[Node, Sequence[Node]],
+        *,
+        sources: Iterable[Node] | None = None,
+    ) -> "CGraph":
+        """Build a graph from a ``{node: [successors]}`` mapping."""
+        edges = [
+            (u, v) for u, children in adjacency.items() for v in children
+        ]
+        return cls(edges, nodes=adjacency.keys(), sources=sources)
+
+    def single_source(self) -> Node:
+        """Return the unique source, or raise.
+
+        Raises
+        ------
+        MissingSourceError
+            If the graph has no source.
+        ParameterError
+            If the graph has more than one source (the caller should use
+            :func:`repro.graphs.ensure_single_source` first).
+        """
+        if not self._sources:
+            raise MissingSourceError("graph has no source node")
+        if len(self._sources) > 1:
+            raise ParameterError(
+                f"graph has {len(self._sources)} sources; expected exactly one"
+            )
+        return next(iter(self._sources))

@@ -1,0 +1,44 @@
+"""Information-propagation substrate.
+
+Implements the paper's propagation model (Section 3): sources generate
+distinct items; every node blindly relays every received copy to all
+out-neighbours; *filter* nodes forward exactly one copy per distinct item.
+
+Three engines, one semantics:
+
+* :mod:`repro.propagation.engine` — exact receipt counts on DAGs via
+  topological passes; the workhorse behind every algorithm and experiment.
+* :mod:`repro.propagation.simulator` — a literal event-driven relay
+  simulator; slower, but works on cyclic graphs with cycle-breaking filter
+  sets and serves as the ground-truth oracle in the test suite.
+* :mod:`repro.propagation.probabilistic` — the probabilistic relaying
+  extension the paper sketches, with Monte-Carlo estimation.
+"""
+
+from repro.propagation.engine import (
+    item_receipts,
+    node_receipts,
+    total_receipts,
+)
+from repro.propagation.simulator import (
+    PropagationTrace,
+    is_propagation_finite,
+    simulate,
+)
+from repro.propagation.probabilistic import (
+    ProbabilisticModel,
+    estimate_total_receipts,
+    expected_receipts_without_filters,
+)
+
+__all__ = [
+    "item_receipts",
+    "node_receipts",
+    "total_receipts",
+    "simulate",
+    "is_propagation_finite",
+    "PropagationTrace",
+    "ProbabilisticModel",
+    "estimate_total_receipts",
+    "expected_receipts_without_filters",
+]

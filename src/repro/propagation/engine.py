@@ -1,0 +1,144 @@
+"""Exact receipt counting on DAGs.
+
+For one item generated at ``origin`` and a filter set ``A``, the number of
+copies each node receives is fully determined by one pass in topological
+order:
+
+* the origin emits exactly one copy on each outgoing edge;
+* a non-filter node that receives ``ψ(v)`` copies emits ``ψ(v)`` copies on
+  each outgoing edge;
+* a filter node emits one copy on each outgoing edge — provided it received
+  the item at all (a filter with nothing to forward emits nothing);
+* ``ψ(v) = Σ_{p ∈ parents(v)} emit(p)``.
+
+Hence ``Φ(A, V) = Σ_v ψ(v)``, the objective's raw material.  Counts grow as
+path counts do — exponentially in the worst case — so everything stays in
+exact Python integers.
+
+Multiple sources generate *distinct* items (paper §3); per-item counts are
+computed independently and summed.  Because copies of distinct items never
+interact (filters deduplicate per item), this aggregation is exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Mapping
+from typing import Hashable
+
+from repro.exceptions import MissingNodeError, MissingSourceError
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+
+def item_receipts(
+    graph: CGraph,
+    origin: Node,
+    filters: Collection[Node] = (),
+    *,
+    _order: tuple[Node, ...] | None = None,
+) -> dict[Node, int]:
+    """Copies of a single item (generated at ``origin``) received per node.
+
+    The origin's own receipt count is 0: in a DAG an item can never return
+    to its generator.  Nodes unreachable from ``origin`` report 0.
+
+    Parameters
+    ----------
+    graph:
+        A DAG (raises :class:`~repro.exceptions.CyclicGraphError` otherwise).
+    origin:
+        The node generating the item.  It does not have to be a designated
+        source of the graph — useful for what-if analyses.
+    filters:
+        Nodes equipped with deduplicating output filters.
+    """
+    if origin not in graph:
+        raise MissingNodeError(origin)
+    filter_set = filters if isinstance(filters, (set, frozenset)) else set(filters)
+    order = _order if _order is not None else graph.topological_order()
+
+    received: dict[Node, int] = dict.fromkeys(order, 0)
+    for v in order:
+        if v == origin:
+            emit = 1
+        else:
+            count = received[v]
+            if count == 0:
+                continue
+            emit = 1 if v in filter_set else count
+        if emit:
+            for child in graph.successors(v):
+                received[child] += emit
+    return received
+
+
+def node_receipts(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    *,
+    items_per_source: int | Mapping[Node, int] = 1,
+) -> dict[Node, int]:
+    """Total receipts per node, aggregated over all sources' items.
+
+    Each source generates ``items_per_source`` distinct items (an int
+    applies to every source; a mapping gives per-source counts).  Distinct
+    items from the same source propagate identically, so their receipt
+    counts are the single-item counts scaled — computed once and
+    multiplied, exactly.
+    """
+    if not graph.sources:
+        raise MissingSourceError("graph has no sources")
+    order = graph.topological_order()
+    totals: dict[Node, int] = dict.fromkeys(graph.nodes(), 0)
+    for source in graph.sources:
+        if isinstance(items_per_source, Mapping):
+            weight = items_per_source.get(source, 0)
+        else:
+            weight = items_per_source
+        if weight <= 0:
+            continue
+        per_item = item_receipts(graph, source, filters, _order=order)
+        for node, count in per_item.items():
+            if count:
+                totals[node] += weight * count
+    return totals
+
+
+def total_receipts(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    *,
+    items_per_source: int | Mapping[Node, int] = 1,
+) -> int:
+    """``Φ(A, V)``: the grand total number of received copies."""
+    return sum(
+        node_receipts(
+            graph, filters, items_per_source=items_per_source
+        ).values()
+    )
+
+
+def item_emissions(
+    graph: CGraph,
+    origin: Node,
+    filters: Collection[Node] = (),
+) -> dict[Node, int]:
+    """Copies each node emits *per outgoing edge* for one item.
+
+    Mostly a white-box testing aid: ``received[child] = Σ emissions[parent]``
+    must hold edge-wise, and a filter's emission is capped at one.
+    """
+    received = item_receipts(graph, origin, filters)
+    filter_set = set(filters)
+    emissions: dict[Node, int] = {}
+    for v in graph.nodes():
+        if v == origin:
+            emissions[v] = 1
+        elif received[v] == 0:
+            emissions[v] = 0
+        elif v in filter_set:
+            emissions[v] = 1
+        else:
+            emissions[v] = received[v]
+    return emissions

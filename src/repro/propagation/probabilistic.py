@@ -1,0 +1,190 @@
+"""Probabilistic relaying — the extension sketched in Section 3.
+
+The paper adopts deterministic relaying "for ease of presentation" and
+notes that both the theory and the experiments carry over when links relay
+probabilistically.  This module makes that concrete with two standard
+models:
+
+* ``live-edge``: each edge flips one coin per item; if live, every copy of
+  that item crosses it.  This matches the independent-cascade convention in
+  the influence-maximization literature the paper cites (Kempe et al.).
+* ``per-copy``: every individual copy flips its own coin on every edge —
+  the "tendency of a node to propagate messages" reading.
+
+Without filters both models have the same *expected* receipt counts (by
+linearity of expectation over path indicators), computable exactly in one
+topological pass.  With filters the expectation is no longer linear — a
+filter's emission is ``min(ψ, 1)`` — so `E[Φ(A, V)]` is estimated by seeded
+Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Collection, Mapping
+from dataclasses import dataclass
+from statistics import fmean, stdev
+from typing import Hashable, Literal
+
+from repro.exceptions import MissingNodeError, ParameterError
+from repro.graphs.cgraph import CGraph
+from repro.propagation.engine import item_receipts
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class ProbabilisticModel:
+    """A c-graph whose edges relay with given probabilities.
+
+    Parameters
+    ----------
+    graph:
+        The underlying DAG.
+    probabilities:
+        Either a single float applied to every edge, or a mapping from
+        edges to floats.  Values must lie in ``[0, 1]``; missing edges in a
+        mapping default to 1 (deterministic relay).
+    """
+
+    graph: CGraph
+    probabilities: float | Mapping[Edge, float] = 1.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.probabilities, Mapping):
+            for edge, p in self.probabilities.items():
+                if not self.graph.has_edge(*edge):
+                    raise MissingNodeError(edge)
+                _check_probability(p)
+        else:
+            _check_probability(self.probabilities)
+
+    def edge_probability(self, u: Node, v: Node) -> float:
+        if isinstance(self.probabilities, Mapping):
+            return float(self.probabilities.get((u, v), 1.0))
+        return float(self.probabilities)
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= float(p) <= 1.0:
+        raise ParameterError(f"edge probability {p!r} outside [0, 1]")
+
+
+def expected_receipts_without_filters(
+    model: ProbabilisticModel, origin: Node
+) -> dict[Node, float]:
+    """Exact ``E[ψ(v)]`` for one item when no filters are placed.
+
+    ``E[ψ(v)] = Σ_{paths s→v} Π_{e ∈ path} p(e)`` — one topological pass,
+    valid for both randomness models because expectation is linear in the
+    per-path indicators.
+    """
+    graph = model.graph
+    if origin not in graph:
+        raise MissingNodeError(origin)
+    order = graph.topological_order()
+    expected: dict[Node, float] = dict.fromkeys(order, 0.0)
+    emit: dict[Node, float] = dict.fromkeys(order, 0.0)
+    emit[origin] = 1.0
+    for v in order:
+        if v != origin:
+            emit[v] = expected[v]
+        if emit[v] == 0.0:
+            continue
+        for child in graph.successors(v):
+            expected[child] += emit[v] * model.edge_probability(v, child)
+    return expected
+
+
+def _sample_live_subgraph(
+    model: ProbabilisticModel, rng: random.Random
+) -> CGraph:
+    live = [
+        (u, v)
+        for u, v in model.graph.edges()
+        if rng.random() < model.edge_probability(u, v)
+    ]
+    sources = model.graph.sources if model.graph.sources else None
+    return CGraph(live, nodes=model.graph.nodes(), sources=sources)
+
+
+def _simulate_per_copy(
+    model: ProbabilisticModel,
+    origin: Node,
+    filters: set[Node],
+    rng: random.Random,
+) -> int:
+    """One per-copy trial; returns the item's total receipt count."""
+    graph = model.graph
+    order = graph.topological_order()
+    received: dict[Node, int] = dict.fromkeys(order, 0)
+    total = 0
+    for v in order:
+        if v == origin:
+            emit = 1
+        elif received[v] == 0:
+            continue
+        elif v in filters:
+            emit = 1
+        else:
+            emit = received[v]
+        for child in graph.successors(v):
+            p = model.edge_probability(v, child)
+            if p >= 1.0:
+                crossed = emit
+            else:
+                # Each of `emit` copies crosses independently.
+                crossed = sum(1 for _ in range(emit) if rng.random() < p)
+            if crossed:
+                received[child] += crossed
+                total += crossed
+    return total
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Mean/stddev/trials summary of a Monte-Carlo estimation run."""
+
+    mean: float
+    std: float
+    trials: int
+
+
+def estimate_total_receipts(
+    model: ProbabilisticModel,
+    filters: Collection[Node] = (),
+    *,
+    trials: int = 100,
+    seed: int = 0,
+    mechanism: Literal["live-edge", "per-copy"] = "live-edge",
+) -> MonteCarloEstimate:
+    """Monte-Carlo estimate of ``E[Φ(A, V)]`` under probabilistic relaying.
+
+    Sums over one item per source, like the deterministic engines.  Fully
+    deterministic for a given ``seed``.
+    """
+    if trials <= 0:
+        raise ParameterError("trials must be positive")
+    filter_set = set(filters)
+    rng = random.Random(seed)
+    totals: list[float] = []
+    sources = list(model.graph.sources)
+    for _ in range(trials):
+        total = 0
+        if mechanism == "live-edge":
+            live = _sample_live_subgraph(model, rng)
+            for source in sources:
+                per_item = item_receipts(live, source, filter_set)
+                total += sum(per_item.values())
+        elif mechanism == "per-copy":
+            for source in sources:
+                total += _simulate_per_copy(model, source, filter_set, rng)
+        else:
+            raise ParameterError(f"unknown mechanism {mechanism!r}")
+        totals.append(float(total))
+    return MonteCarloEstimate(
+        mean=fmean(totals),
+        std=stdev(totals) if len(totals) > 1 else 0.0,
+        trials=trials,
+    )

@@ -1,0 +1,198 @@
+"""A literal event-driven relay simulator.
+
+Where :mod:`repro.propagation.engine` computes receipt counts analytically,
+this module actually *plays out* the paper's propagation protocol, one copy
+at a time: tokens carrying ``(item, copy)`` hop along edges; non-filter
+nodes re-emit every token on every outgoing edge; filter nodes re-emit only
+the first token of each item and swallow the rest.
+
+It is the semantic ground truth the analytic engine and the impact formulas
+are tested against, and — unlike the engine — it also handles *cyclic*
+graphs whenever the filter set breaks every reachable cycle (each filter
+forwards an item at most once, so propagation terminates; see
+:func:`is_propagation_finite`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Collection
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.exceptions import (
+    DivergentPropagationError,
+    MissingNodeError,
+    MissingSourceError,
+)
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+#: Defensive bound on relay events; :func:`is_propagation_finite` should make
+#: this unreachable, but simulations of adversarial inputs stay safe.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+@dataclass
+class PropagationTrace:
+    """Everything a simulation run observed.
+
+    Attributes
+    ----------
+    received:
+        ``received[v]`` — total copies (over all items) delivered to ``v``.
+    received_by_item:
+        ``received_by_item[item][v]`` — per-item breakdown.
+    events:
+        Number of edge-relay events executed.
+    suppressed:
+        Copies swallowed by filters (received but not re-emitted), a direct
+        measure of the redundancy the filter set removes in flight.
+    """
+
+    received: dict[Node, int] = field(default_factory=dict)
+    received_by_item: dict[Hashable, dict[Node, int]] = field(
+        default_factory=dict
+    )
+    events: int = 0
+    suppressed: int = 0
+
+    def total(self) -> int:
+        """``Φ(A, V)`` as observed by the simulation."""
+        return sum(self.received.values())
+
+
+def is_propagation_finite(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    origins: Collection[Node] | None = None,
+) -> bool:
+    """Would deterministic propagation terminate?
+
+    Propagation diverges iff some directed cycle consisting entirely of
+    non-filter nodes is reachable from an origin: copies multiply around it
+    forever.  Every cycle that contains a filter is harmless because a
+    filter re-emits each item at most once.
+
+    This is exactly the structure Theorem 1's SetCover gadget exploits:
+    asking for ``k`` filters that keep ``Φ`` finite is asking for ``k`` sets
+    covering every element-cycle.
+    """
+    if origins is None:
+        origins = graph.sources
+    if not origins:
+        raise MissingSourceError("no origins supplied and graph has no sources")
+    filter_set = set(filters)
+
+    # Restrict to nodes reachable from the origins, then test whether the
+    # induced subgraph on *non-filter* reachable nodes is acyclic.
+    reachable: set[Node] = set()
+    stack = [o for o in origins]
+    for o in stack:
+        if o not in graph:
+            raise MissingNodeError(o)
+    reachable.update(stack)
+    while stack:
+        node = stack.pop()
+        for child in graph.successors(node):
+            if child not in reachable:
+                reachable.add(child)
+                stack.append(child)
+
+    candidates = reachable - filter_set
+    # Kahn's algorithm on the induced subgraph.
+    indegree: dict[Node, int] = {}
+    for v in candidates:
+        indegree[v] = sum(1 for p in graph.predecessors(v) if p in candidates)
+    queue = deque(v for v, d in indegree.items() if d == 0)
+    seen = 0
+    while queue:
+        v = queue.popleft()
+        seen += 1
+        for child in graph.successors(v):
+            if child in candidates:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+    return seen == len(candidates)
+
+
+def simulate(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    *,
+    origins: Collection[Node] | None = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    check_finiteness: bool = True,
+) -> PropagationTrace:
+    """Run the relay protocol to completion and return its trace.
+
+    Parameters
+    ----------
+    graph:
+        Any directed c-graph; cycles are fine as long as the filter set
+        breaks them (checked up front unless ``check_finiteness=False``).
+    filters:
+        The deduplicating nodes.
+    origins:
+        Item-generating nodes; defaults to ``graph.sources``.  Each origin
+        generates exactly one distinct item named after the origin.
+    max_events:
+        Hard safety bound on relay events.
+
+    Raises
+    ------
+    DivergentPropagationError
+        If propagation provably diverges (or exceeds ``max_events``).
+    """
+    if origins is None:
+        origins = graph.sources
+    if not origins:
+        raise MissingSourceError("no origins supplied and graph has no sources")
+    filter_set = set(filters)
+    if check_finiteness and not is_propagation_finite(
+        graph, filter_set, origins
+    ):
+        raise DivergentPropagationError(
+            "a filter-free cycle is reachable from an origin"
+        )
+
+    trace = PropagationTrace(
+        received={v: 0 for v in graph.nodes()},
+    )
+
+    for origin in origins:
+        item = origin
+        per_item: dict[Node, int] = {}
+        trace.received_by_item[item] = per_item
+        forwarded_by: set[Node] = set()
+
+        # Each queue entry is (node, copies) — a batch of identical copies
+        # of this item arriving at `node`.  Batching keeps the simulation
+        # honest (counts are per-copy) while avoiding one Python object per
+        # copy on high-multiplicity graphs.
+        queue: deque[tuple[Node, int]] = deque()
+        for child in graph.successors(origin):
+            queue.append((child, 1))
+
+        while queue:
+            node, copies = queue.popleft()
+            trace.events += 1
+            if trace.events > max_events:
+                raise DivergentPropagationError(steps=trace.events)
+            per_item[node] = per_item.get(node, 0) + copies
+            trace.received[node] += copies
+            if node in filter_set:
+                if node in forwarded_by:
+                    trace.suppressed += copies
+                    continue
+                forwarded_by.add(node)
+                trace.suppressed += copies - 1
+                emit = 1
+            else:
+                emit = copies
+            for child in graph.successors(node):
+                queue.append((child, emit))
+
+    return trace

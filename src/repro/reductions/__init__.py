@@ -1,0 +1,28 @@
+"""Executable NP-completeness gadgets (Theorems 1 and 2).
+
+The paper proves FP NP-complete on general digraphs by reduction from
+SetCover and on DAGs by reduction from VertexCover.  These modules build
+the exact gadget graphs from the proofs, so the test suite can certify the
+reductions numerically (cover ⇔ cheap filter placement) on small instances
+— an executable appendix.
+"""
+
+from repro.reductions.setcover import (
+    SetCoverInstance,
+    setcover_to_fp,
+    verify_cover_breaks_cycles,
+)
+from repro.reductions.vertexcover import (
+    VertexCoverInstance,
+    is_vertex_cover,
+    vertexcover_to_fp,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "setcover_to_fp",
+    "verify_cover_breaks_cycles",
+    "VertexCoverInstance",
+    "vertexcover_to_fp",
+    "is_vertex_cover",
+]

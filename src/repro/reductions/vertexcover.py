@@ -1,0 +1,101 @@
+"""Theorem 2's gadget: VertexCover → FP on DAGs.
+
+Construction, following the appendix:
+
+* start from an undirected graph ``G(V, E)`` and an integer budget ``k``;
+* add a source ``s`` (first) and a sink ``t`` (last), orient every original
+  edge from the lower-ordered endpoint to the higher one, and wire
+  ``s → v → t`` for every ``v ∈ V`` — a DAG by construction;
+* replace **every** directed edge ``(u, v)`` by the *multiplier tool*:
+  ``m`` fresh interior nodes ``w_1 … w_m`` with edges ``u → w_i → v``, so
+  ``x`` copies leaving ``u`` become ``x·m`` copies arriving at ``v``.
+
+With ``m`` large enough, any filter placement that avoids covering some
+original edge ``(u, v)`` lets ``Θ(m³)`` copies cascade through the
+``s → u → v → t`` corridor, while placements that are vertex covers keep
+every corridor at ``O(m²)`` — so cheap filter placements and vertex covers
+coincide.  The tests certify the separation numerically on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+Vertex = Hashable
+
+SOURCE = "s"
+SINK = "t"
+
+
+@dataclass(frozen=True)
+class VertexCoverInstance:
+    """An undirected VertexCover instance.
+
+    ``vertices`` fixes the order ``σ`` used to orient edges in the gadget,
+    making the construction deterministic.
+    """
+
+    vertices: tuple[Vertex, ...]
+    edges: tuple[tuple[Vertex, Vertex], ...]
+
+    def __post_init__(self) -> None:
+        known = set(self.vertices)
+        if len(known) != len(self.vertices):
+            raise ParameterError("duplicate vertices in instance")
+        for u, v in self.edges:
+            if u == v:
+                raise ParameterError(f"self-loop {u!r} not allowed")
+            if u not in known or v not in known:
+                raise ParameterError(f"edge ({u!r}, {v!r}) uses unknown vertex")
+
+
+def is_vertex_cover(
+    instance: VertexCoverInstance, chosen: set[Vertex]
+) -> bool:
+    """Does ``chosen`` touch every edge of the instance?"""
+    return all(u in chosen or v in chosen for u, v in instance.edges)
+
+
+def multiplier_node(u: Vertex, v: Vertex, index: int) -> tuple:
+    """Id of the ``index``-th interior node of the ``(u, v)`` multiplier."""
+    return ("w", u, v, index)
+
+
+def vertexcover_to_fp(
+    instance: VertexCoverInstance, m: int
+) -> CGraph:
+    """Build the Theorem-2 DAG for a VertexCover instance.
+
+    Parameters
+    ----------
+    m:
+        Multiplier width.  The proof takes ``m`` polynomially huge; for
+        numeric certification ``m`` a few times ``|V|²`` already separates
+        covers from non-covers.
+    """
+    if m < 1:
+        raise ParameterError(f"multiplier width must be >= 1, got {m}")
+    position = {v: i for i, v in enumerate(instance.vertices)}
+
+    directed: list[tuple[Vertex, Vertex]] = []
+    for u, v in instance.edges:
+        if position[u] < position[v]:
+            directed.append((u, v))
+        else:
+            directed.append((v, u))
+    directed.extend((SOURCE, v) for v in instance.vertices)
+    directed.extend((v, SINK) for v in instance.vertices)
+
+    gadget_edges: list[tuple[Hashable, Hashable]] = []
+    for u, v in directed:
+        for index in range(m):
+            w = multiplier_node(u, v, index)
+            gadget_edges.append((u, w))
+            gadget_edges.append((w, v))
+
+    nodes = [SOURCE, SINK, *instance.vertices]
+    return CGraph(gadget_edges, nodes=nodes, sources=[SOURCE])
