@@ -27,6 +27,8 @@ Package layout
   algorithm, the binary-tree transform, I/O.
 * :mod:`repro.propagation` — exact, simulated, and probabilistic
   propagation engines.
+* :mod:`repro.backends` — pluggable propagation backends: the exact
+  big-int engine and a vectorized NumPy engine, behind one registry.
 * :mod:`repro.core` — the objective and every placement algorithm from the
   paper (plus exact baselines).
 * :mod:`repro.reductions` — executable NP-completeness gadgets
@@ -35,6 +37,8 @@ Package layout
   structure-matched substitutes for the Quote/Twitter/APS datasets.
 * :mod:`repro.analysis` — FR curves, degree CDFs, runtime harness.
 * :mod:`repro.experiments` — one module per paper figure.
+* :mod:`repro.bench` — benchmark scenario matrices, instrumentation,
+  ``BENCH.json`` trajectory files and the regression comparator.
 """
 
 from repro.exceptions import (
@@ -58,6 +62,13 @@ from repro.propagation import (
     simulate,
     total_receipts,
 )
+from repro.backends import (
+    BACKEND_NAMES,
+    available_backends,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.core import (
     PlacementResult,
     filter_ratio,
@@ -76,7 +87,7 @@ from repro.core import (
     tree_optimal_placement,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -98,6 +109,12 @@ __all__ = [
     "node_receipts",
     "total_receipts",
     "simulate",
+    # backends
+    "BACKEND_NAMES",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
     # core
     "PlacementResult",
     "phi",

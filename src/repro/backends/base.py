@@ -1,0 +1,95 @@
+"""The ``PropagationBackend`` protocol.
+
+Every quantity the placement algorithms consume — ``Φ(A, V)``, per-node
+receipt totals, the marginal gains ``I(v | A)`` of ``Greedy_All``, and
+``Greedy_L``'s simplified impacts ``I'(v)`` — reduces to topological-order
+sweeps over the c-graph.  A backend is one implementation of those sweeps;
+the algorithms never care *how* the numbers were produced, only that they
+are exact.
+
+Contract (shared by all backends, enforced by the equivalence tests):
+
+* Results are **exact integers**, bit-identical across backends.  A backend
+  whose fast path cannot guarantee exactness (e.g. fixed-width overflow)
+  must fall back to an exact path rather than return approximations.
+* Dict results are keyed by node id with plain Python ``int`` values, so
+  downstream tie-breaking, serialization and comparisons behave identically
+  regardless of backend.
+* Backends are stateless with respect to *results*; they may cache derived
+  per-graph data (levelizations, index maps) because :class:`CGraph` is
+  immutable.
+
+Implementations live next to this module:
+
+* :class:`repro.backends.python_backend.PythonBackend` — the exact
+  arbitrary-precision engine (per-source dict sweeps).
+* :class:`repro.backends.numpy_backend.NumpyBackend` — the dense vectorized
+  engine (levelized batched sweeps, int64 with overflow detection).
+
+Use :func:`repro.backends.registry.get_backend` /
+:func:`repro.backends.registry.use_backend` to select one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Mapping
+from typing import Hashable, Protocol, runtime_checkable
+
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+
+@runtime_checkable
+class PropagationBackend(Protocol):
+    """The interface the placement/objective layers program against."""
+
+    #: Registry name ("python", "numpy", ...); informational for wrappers.
+    name: str
+
+    def node_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> dict[Node, int]:
+        """Total receipts per node, aggregated over all sources' items."""
+        ...  # pragma: no cover
+
+    def total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> int:
+        """``Φ(A, V)``: the grand total number of received copies."""
+        ...  # pragma: no cover
+
+    def marginal_gains(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        """``I(v | A) = F(A ∪ {v}) − F(A)`` for every node at once."""
+        ...  # pragma: no cover
+
+    def simplified_impacts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        """``Greedy_L``'s ``I'(v) = Prefix(v) × dout(v)`` under ``A``."""
+        ...  # pragma: no cover
+
+    def warm(self, graph: CGraph) -> None:
+        """Perform any one-time per-graph preprocessing now.
+
+        Timing harnesses call this outside their measured region so a
+        backend's setup cost (levelization plans, cached topological
+        orders) does not land on whichever cell happens to run first.
+        Backends without per-graph state implement it as a no-op;
+        wrappers must forward it.
+        """
+        ...  # pragma: no cover

@@ -1,0 +1,469 @@
+"""The dense vectorized NumPy backend.
+
+Strategy
+--------
+The exact engine walks the topological order node by node, per source, in
+Python.  This backend levelizes the DAG **once per graph** (level = longest
+path from any root, so every edge crosses strictly upward) and then runs
+every sweep as a handful of array operations per level:
+
+* **Forward ψ pass** — all sources at once.  ``psi`` is a
+  ``(num_sources, num_nodes)`` int64 matrix; for each level the emission
+  block is ``ψ`` clamped to one on filter columns (and pinned to one on
+  each source's own column), and a single ``np.add.at`` scatters it along
+  the level's out-edges.  One pass prices *every* item simultaneously.
+* **Backward W pass** — the absorbing suffix
+  ``W(v) = Σ_{u ∈ children(v)} (1 + [u ∉ A]·W(u))`` as one gather/scatter
+  per level in reverse.
+* ``I(v | A) = (Σ_s max(ψ_s(v) − 1, 0)) · W(v)`` and
+  ``I'(v) = (Σ_s ψ_s(v)) · dout(v)`` are then elementwise products.
+
+Exactness and overflow
+----------------------
+Receipt counts are path counts: they grow exponentially in the worst case
+and can overrun int64 silently.  At plan-build time the backend runs the
+same recurrences once in float64 with ``A = ∅`` — an upper bound for every
+filter set, because adding filters only ever shrinks ``ψ`` and ``W`` — and
+records the largest value any query could produce.  If that bound crosses
+:data:`OVERFLOW_LIMIT` (a 2× safety margin below ``2**63``), the plan is
+marked exact-only and every call transparently delegates to
+:class:`~repro.backends.python_backend.PythonBackend`, whose big integers
+cannot overflow.  Weighted queries re-check the bound against the supplied
+item weights.  The equivalence tests assert bit-identical results across
+the two paths either way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Collection, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.exceptions import MissingSourceError
+from repro.graphs.cgraph import CGraph
+from repro.graphs.validation import validate_filter_set
+from repro.backends.python_backend import PythonBackend
+
+Node = Hashable
+
+#: Largest magnitude the int64 fast path will accept (2× margin under 2**63;
+#: the float64 probe's rounding drift is many orders of magnitude smaller).
+OVERFLOW_LIMIT = float(2**62)
+
+_NUMPY_AVAILABLE: bool | None = None
+
+
+def numpy_available() -> bool:
+    """True when :mod:`numpy` can be imported in this environment.
+
+    Memoized: this sits on the ``auto``-backend resolution path of every
+    evaluation, and failed imports are not cached by Python itself.
+    """
+    global _NUMPY_AVAILABLE
+    if _NUMPY_AVAILABLE is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:  # pragma: no cover - numpy is present in CI
+            _NUMPY_AVAILABLE = False
+        else:
+            _NUMPY_AVAILABLE = True
+    return _NUMPY_AVAILABLE
+
+
+@dataclass
+class _Level:
+    """One level of the levelized DAG plus its outgoing edge bundle.
+
+    The level's edges are stored twice, pre-grouped for the two sweep
+    directions so both can scatter with ``np.add.reduceat`` (exact int64
+    segment sums) instead of the much slower ``np.add.at``:
+
+    * forward — grouped by destination: ``fwd_src_local`` (positions
+      within ``nodes``), segment starts ``fwd_offsets``, one segment per
+      ``fwd_uniq_dst`` entry;
+    * backward — grouped by source (natural CSR order): ``bwd_dst``
+      (global indices), segment starts ``bwd_offsets``, one segment per
+      ``bwd_uniq_src`` entry.
+    """
+
+    nodes: Any  # intp[num_level_nodes] — global node indices
+    fwd_src_local: Any  # intp[num_edges] — dst-grouped, positions in nodes
+    fwd_uniq_dst: Any  # intp[...] — distinct destinations
+    fwd_offsets: Any  # intp[...] — reduceat segment starts
+    bwd_dst: Any  # intp[num_edges] — src-grouped, global dst indices
+    bwd_uniq_src: Any  # intp[...] — distinct sources
+    bwd_offsets: Any  # intp[...] — reduceat segment starts
+    origin_rows: Any  # intp[...] — ψ rows whose source sits in this level
+    origin_cols: Any  # intp[...] — matching positions within ``nodes``
+
+    @property
+    def has_edges(self) -> bool:
+        return self.bwd_dst.size > 0
+
+
+@dataclass
+class _Plan:
+    """Immutable per-graph preprocessing for the vectorized sweeps."""
+
+    index: dict[Node, int]
+    node_list: tuple[Node, ...]
+    sources: tuple[Node, ...]
+    levels: list[_Level] = field(default_factory=list)
+    out_degree: Any = None  # int64[n]
+    #: max over v of (Σ_s ψ_∅(v)) · W_∅(v) — bounds every gain/score.
+    prod_bound: float = 0.0
+    #: max over v of Σ_s ψ_∅(v) — bounds every per-node receipt total.
+    psi_bound: float = 0.0
+    #: When True the int64 path is unsafe; delegate to the exact backend.
+    exact_only: bool = False
+
+    @property
+    def n(self) -> int:
+        return len(self.node_list)
+
+
+class NumpyBackend:
+    """Levelized dense propagation on int64 arrays, exact or bust."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        import weakref
+
+        import numpy as np
+
+        self._np = np
+        self._exact = PythonBackend()
+        # Weak-keyed (CGraph is immutable and identity-hashed): plans die
+        # with their graphs instead of pinning discarded graphs alive in
+        # the registry's singleton backend.
+        self._plans: "weakref.WeakKeyDictionary[CGraph, _Plan]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+
+    def plan_for(self, graph: CGraph) -> _Plan:
+        """The (cached) levelization plan for ``graph``.
+
+        Public for two callers beyond the backend itself: tests inspect
+        ``plan.exact_only`` (whether the overflow probe forced this graph
+        onto the exact path), and the bench harness calls it to warm the
+        cache outside its timed region.
+        """
+        plan = self._plans.get(graph)
+        if plan is None:
+            plan = self._build_plan(graph)
+            self._plans[graph] = plan
+        return plan
+
+    def _multi_arange(self, starts: Any, lengths: Any) -> Any:
+        """Concatenate ``arange(start, start+length)`` runs, vectorized."""
+        np = self._np
+        keep = lengths > 0
+        starts, lengths = starts[keep], lengths[keep]
+        if starts.size == 0:
+            return np.empty(0, dtype=np.intp)
+        steps = np.ones(int(lengths.sum()), dtype=np.intp)
+        steps[0] = starts[0]
+        run_ends = np.cumsum(lengths)[:-1]
+        steps[run_ends] = starts[1:] - (starts[:-1] + lengths[:-1]) + 1
+        return np.cumsum(steps)
+
+    def _build_plan(self, graph: CGraph) -> _Plan:
+        np = self._np
+        nodes = graph.nodes()
+        n = len(nodes)
+        index = {v: i for i, v in enumerate(nodes)}
+        sources = tuple(sorted(graph.sources, key=index.__getitem__))
+        plan = _Plan(index=index, node_list=nodes, sources=sources)
+
+        # Edge arrays in CSR order (successors are already grouped by
+        # source node); the only per-edge Python work is the id lookup.
+        succ_lists = [graph.successors(v) for v in nodes]
+        counts = np.array([len(s) for s in succ_lists], dtype=np.intp)
+        src = np.repeat(np.arange(n, dtype=np.intp), counts)
+        dst = np.array(
+            list(
+                map(
+                    index.__getitem__,
+                    itertools.chain.from_iterable(succ_lists),
+                )
+            ),
+            dtype=np.intp,
+        ) if int(counts.sum()) else np.empty(0, dtype=np.intp)
+        plan.out_degree = counts.astype(np.int64)
+        offsets = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.intp)
+
+        # Kahn-by-wavefronts: each round's ready set is exactly the nodes
+        # whose longest path from any root has the round's length, so this
+        # levelizes and cycle-checks in one pass of vectorized rounds.
+        indeg = np.bincount(dst, minlength=n)
+        depth = np.zeros(n, dtype=np.intp)
+        frontier = np.flatnonzero(indeg == 0)
+        processed = 0
+        level = 0
+        while frontier.size:
+            depth[frontier] = level
+            processed += int(frontier.size)
+            edge_ids = self._multi_arange(offsets[frontier], counts[frontier])
+            if edge_ids.size == 0:
+                break
+            decrements = np.bincount(dst[edge_ids], minlength=n)
+            indeg -= decrements
+            frontier = np.flatnonzero((decrements > 0) & (indeg == 0))
+            level += 1
+        if processed != n:
+            from repro.exceptions import CyclicGraphError
+
+            raise CyclicGraphError("graph contains a directed cycle")
+
+        num_levels = int(depth.max()) + 1 if n else 0
+        nodes_by_level = np.argsort(depth, kind="stable")
+        level_starts = np.searchsorted(
+            depth[nodes_by_level], np.arange(num_levels + 1)
+        )
+        local_pos = np.empty(n, dtype=np.intp)
+        local_pos[nodes_by_level] = (
+            np.arange(n, dtype=np.intp) - level_starts[depth[nodes_by_level]]
+        )
+        edge_level = depth[src]
+        edges_by_level = np.argsort(edge_level, kind="stable")
+        edge_level_starts = np.searchsorted(
+            edge_level[edges_by_level], np.arange(num_levels + 1)
+        )
+        source_idx = [index[s] for s in sources]
+
+        def group_starts(sorted_keys: Any) -> Any:
+            """Segment starts of equal-key runs in an already-sorted array."""
+            return np.flatnonzero(
+                np.concatenate(
+                    ([True], sorted_keys[1:] != sorted_keys[:-1])
+                )
+            )
+
+        for lvl in range(num_levels):
+            lvl_nodes = nodes_by_level[level_starts[lvl]:level_starts[lvl + 1]]
+            eids = edges_by_level[
+                edge_level_starts[lvl]:edge_level_starts[lvl + 1]
+            ]
+            src_global = src[eids]  # ascending (CSR order is kept by the
+            dst_global = dst[eids]  # stable sort) — already src-grouped
+            if src_global.size:
+                by_dst = np.argsort(dst_global, kind="stable")
+                dst_sorted = dst_global[by_dst]
+                fwd_offsets = group_starts(dst_sorted)
+                fwd_uniq_dst = dst_sorted[fwd_offsets]
+                fwd_src_local = local_pos[src_global[by_dst]]
+                bwd_offsets = group_starts(src_global)
+                bwd_uniq_src = src_global[bwd_offsets]
+            else:
+                empty = np.empty(0, dtype=np.intp)
+                fwd_offsets = fwd_uniq_dst = fwd_src_local = empty
+                bwd_offsets = bwd_uniq_src = empty
+            origin_rows = [
+                row for row, si in enumerate(source_idx) if depth[si] == lvl
+            ]
+            origin_cols = [local_pos[source_idx[row]] for row in origin_rows]
+            plan.levels.append(
+                _Level(
+                    nodes=lvl_nodes,
+                    fwd_src_local=fwd_src_local,
+                    fwd_uniq_dst=fwd_uniq_dst,
+                    fwd_offsets=fwd_offsets,
+                    bwd_dst=dst_global,
+                    bwd_uniq_src=bwd_uniq_src,
+                    bwd_offsets=bwd_offsets,
+                    origin_rows=np.array(origin_rows, dtype=np.intp),
+                    origin_cols=np.array(origin_cols, dtype=np.intp),
+                )
+            )
+
+        self._probe_overflow(plan)
+        return plan
+
+    def _probe_overflow(self, plan: _Plan) -> None:
+        """Bound every representable quantity by one float64 ``A = ∅`` run."""
+        with self._np.errstate(over="ignore", invalid="ignore"):
+            self._probe_overflow_inner(plan)
+
+    def _probe_overflow_inner(self, plan: _Plan) -> None:
+        # float64 overflow to inf (and inf·0 = NaN) is the probe's expected
+        # saturation behavior — both force exact_only below.
+        np = self._np
+        n = plan.n
+        num_sources = len(plan.sources)
+        psi = np.zeros((num_sources, n), dtype=np.float64)
+        for lvl in plan.levels:
+            if not lvl.has_edges:
+                continue
+            emit = psi[:, lvl.nodes]  # fancy index: a fresh copy, safe to edit
+            if lvl.origin_rows.size:
+                emit[lvl.origin_rows, lvl.origin_cols] = 1.0
+            psi[:, lvl.fwd_uniq_dst] += np.add.reduceat(
+                emit[:, lvl.fwd_src_local], lvl.fwd_offsets, axis=1
+            )
+        w = np.zeros(n, dtype=np.float64)
+        for lvl in reversed(plan.levels):
+            if not lvl.has_edges:
+                continue
+            w[lvl.bwd_uniq_src] += np.add.reduceat(
+                1.0 + w[lvl.bwd_dst], lvl.bwd_offsets
+            )
+        totals = psi.sum(axis=0) if num_sources else np.zeros(n)
+        plan.psi_bound = float(totals.max()) if n else 0.0
+        plan.prod_bound = float((totals * w).max()) if n else 0.0
+        # Φ itself needs no bound: total_receipts sums Python ints from
+        # .tolist(), so only per-entry/per-node int64 values can overflow,
+        # and those are all covered by psi_bound (receipts) or prod_bound
+        # (gains and simplified-impact scores, since W(v) ≥ dout(v)).
+        # Non-finite bounds mean the probe itself overflowed float64 —
+        # including the inf·0 = NaN case from a source-unreachable region
+        # with astronomical W — and NaN comparisons are always False, so
+        # they must be treated as overflow explicitly, never compared.
+        plan.exact_only = (
+            not math.isfinite(plan.psi_bound)
+            or not math.isfinite(plan.prod_bound)
+            or max(plan.psi_bound, plan.prod_bound) >= OVERFLOW_LIMIT
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized sweeps
+    # ------------------------------------------------------------------
+
+    def _filter_mask(self, plan: _Plan, filters: Collection[Node]) -> Any:
+        np = self._np
+        mask = np.zeros(plan.n, dtype=bool)
+        for v in filters:
+            mask[plan.index[v]] = True
+        return mask
+
+    def _psi_matrix(self, plan: _Plan, mask: Any) -> Any:
+        """``ψ`` for all sources at once: shape ``(num_sources, n)``."""
+        np = self._np
+        psi = np.zeros((len(plan.sources), plan.n), dtype=np.int64)
+        for lvl in plan.levels:
+            if not lvl.has_edges:
+                continue
+            block = psi[:, lvl.nodes]  # fancy index: a fresh copy
+            lvl_mask = mask[lvl.nodes]
+            if lvl_mask.any():
+                emit = np.where(
+                    lvl_mask[None, :],
+                    (block > 0).astype(np.int64),
+                    block,
+                )
+            else:
+                emit = block
+            if lvl.origin_rows.size:
+                emit[lvl.origin_rows, lvl.origin_cols] = 1
+            psi[:, lvl.fwd_uniq_dst] += np.add.reduceat(
+                emit[:, lvl.fwd_src_local], lvl.fwd_offsets, axis=1
+            )
+        return psi
+
+    def _suffix_vector(self, plan: _Plan, mask: Any) -> Any:
+        """``W`` (item-independent) in one backward sweep: shape ``(n,)``."""
+        np = self._np
+        w = np.zeros(plan.n, dtype=np.int64)
+        for lvl in reversed(plan.levels):
+            if not lvl.has_edges:
+                continue
+            contrib = 1 + np.where(mask[lvl.bwd_dst], 0, w[lvl.bwd_dst])
+            w[lvl.bwd_uniq_src] += np.add.reduceat(contrib, lvl.bwd_offsets)
+        return w
+
+    # ------------------------------------------------------------------
+    # PropagationBackend interface
+    # ------------------------------------------------------------------
+
+    def node_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> dict[Node, int]:
+        if not graph.sources:
+            raise MissingSourceError("graph has no sources")
+        validate_filter_set(graph, set(filters))
+        plan = self.plan_for(graph)
+        np = self._np
+        if isinstance(items_per_source, Mapping):
+            weights = [max(items_per_source.get(s, 0), 0) for s in plan.sources]
+        else:
+            weights = [max(items_per_source, 0)] * len(plan.sources)
+        max_weight = max(weights, default=0)
+        # Compare before multiplying: a weight beyond float64 range would
+        # raise OverflowError in the product, and anything >= the limit
+        # needs the exact path regardless.
+        if (
+            plan.exact_only
+            or max_weight >= OVERFLOW_LIMIT
+            or max_weight * plan.psi_bound >= OVERFLOW_LIMIT
+        ):
+            return self._exact.node_receipts(
+                graph, filters, items_per_source=items_per_source
+            )
+        psi = self._psi_matrix(plan, self._filter_mask(plan, filters))
+        wvec = np.array(weights, dtype=np.int64)
+        totals = (psi * wvec[:, None]).sum(axis=0)
+        return dict(zip(plan.node_list, totals.tolist()))
+
+    def total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> int:
+        return sum(
+            self.node_receipts(
+                graph, filters, items_per_source=items_per_source
+            ).values()
+        )
+
+    def marginal_gains(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        if not graph.sources:
+            raise MissingSourceError("graph has no sources")
+        filter_set = set(filters)
+        validate_filter_set(graph, filter_set)
+        plan = self.plan_for(graph)
+        if plan.exact_only:
+            return self._exact.marginal_gains(graph, filter_set)
+        np = self._np
+        mask = self._filter_mask(plan, filter_set)
+        psi = self._psi_matrix(plan, mask)
+        w = self._suffix_vector(plan, mask)
+        surplus = psi - 1
+        np.maximum(surplus, 0, out=surplus)
+        gains = surplus.sum(axis=0) * w
+        gains[mask] = 0
+        return dict(zip(plan.node_list, gains.tolist()))
+
+    def simplified_impacts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        filter_set = set(filters)
+        validate_filter_set(graph, filter_set)
+        plan = self.plan_for(graph)
+        if plan.exact_only:
+            return self._exact.simplified_impacts(graph, filter_set)
+        psi = self._psi_matrix(plan, self._filter_mask(plan, filter_set))
+        scores = psi.sum(axis=0) * plan.out_degree
+        return dict(zip(plan.node_list, scores.tolist()))
+
+    def warm(self, graph: CGraph) -> None:
+        self.plan_for(graph)

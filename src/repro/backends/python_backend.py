@@ -1,0 +1,85 @@
+"""The exact arbitrary-precision backend.
+
+Thin adapter over the original sweep implementations in
+:mod:`repro.propagation.engine`, :mod:`repro.core.impact` and
+:mod:`repro.core.greedy_l` — per-source Python dict loops over the
+topological order, with native big integers, so results are exact no
+matter how explosively path counts grow.
+
+This backend is the semantic reference: every other backend must agree
+with it bit-for-bit, and the fast backends delegate to it whenever their
+representable range is at risk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Mapping
+from typing import Hashable
+
+from repro.graphs.cgraph import CGraph
+from repro.graphs.validation import validate_filter_set
+
+Node = Hashable
+
+
+class PythonBackend:
+    """Exact big-int propagation (the seed implementation, unchanged).
+
+    Filter sets are validated here (not in the exact sweeps, which other
+    backends reuse for their fallback paths) so every backend rejects
+    unknown filter nodes identically.
+    """
+
+    name = "python"
+
+    def node_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> dict[Node, int]:
+        from repro.propagation.engine import node_receipts_exact
+
+        validate_filter_set(graph, set(filters))
+        return node_receipts_exact(
+            graph, filters, items_per_source=items_per_source
+        )
+
+    def total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> int:
+        return sum(
+            self.node_receipts(
+                graph, filters, items_per_source=items_per_source
+            ).values()
+        )
+
+    def marginal_gains(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        from repro.core.impact import marginal_gains_exact
+
+        return marginal_gains_exact(graph, filters)
+
+    def simplified_impacts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        from repro.core.greedy_l import simplified_impacts_exact
+
+        filter_set = set(filters)
+        validate_filter_set(graph, filter_set)
+        return simplified_impacts_exact(graph, filter_set)
+
+    def warm(self, graph: CGraph) -> None:
+        # The exact sweeps' only per-graph preprocessing is the (graph-
+        # cached) topological order.
+        graph.topological_order()

@@ -1,0 +1,108 @@
+"""Backend registry: name-based lookup and the process-wide default.
+
+Selection surface, smallest to largest scope:
+
+* explicit argument — ``phi(graph, A, backend="numpy")`` or a backend
+  instance (the bench harness passes a counting wrapper this way);
+* :func:`use_backend` — a context manager scoping a default to one block;
+* :func:`set_default_backend` — the process default, which the CLI's
+  ``--backend`` flag sets before dispatching a command.
+
+``"auto"`` (the initial default) resolves to the NumPy backend when
+:mod:`numpy` is importable and to the exact Python backend otherwise, so
+library users get the fast path for free while environments without NumPy
+keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.backends.base import PropagationBackend
+from repro.backends.numpy_backend import NumpyBackend, numpy_available
+from repro.backends.python_backend import PythonBackend
+from repro.exceptions import ParameterError
+
+#: Every name accepted by ``get_backend`` / the CLI ``--backend`` flag.
+BACKEND_NAMES: tuple[str, ...] = ("python", "numpy", "auto")
+
+_instances: dict[str, PropagationBackend] = {}
+_default: str | PropagationBackend = "auto"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Concrete backend names usable in this environment."""
+    return ("python", "numpy") if numpy_available() else ("python",)
+
+
+def get_backend(name: str) -> PropagationBackend:
+    """The singleton backend registered under ``name``.
+
+    ``"auto"`` picks the fastest available backend.  Raises
+    :class:`~repro.exceptions.ParameterError` for unknown names or for
+    ``"numpy"`` when NumPy is not installed.
+    """
+    if name == "auto":
+        name = "numpy" if numpy_available() else "python"
+    if name not in ("python", "numpy"):
+        known = ", ".join(BACKEND_NAMES)
+        raise ParameterError(
+            f"unknown backend {name!r}; known backends: {known}"
+        )
+    instance = _instances.get(name)
+    if instance is None:
+        if name == "numpy":
+            if not numpy_available():
+                raise ParameterError(
+                    "backend 'numpy' requested but numpy is not installed; "
+                    "use --backend python (or auto)"
+                )
+            instance = NumpyBackend()
+        else:
+            instance = PythonBackend()
+        _instances[name] = instance
+    return instance
+
+
+def resolve_backend(
+    spec: str | PropagationBackend | None,
+) -> PropagationBackend:
+    """Turn a backend spec (name, instance, or None=default) into an instance."""
+    if spec is None:
+        spec = _default
+    if isinstance(spec, str):
+        return get_backend(spec)
+    return spec
+
+
+def get_default_backend() -> PropagationBackend:
+    """The backend used when no explicit one is supplied."""
+    return resolve_backend(None)
+
+
+def set_default_backend(spec: str | PropagationBackend) -> None:
+    """Set the process-wide default backend (a name or an instance)."""
+    global _default
+    if isinstance(spec, str) and spec not in BACKEND_NAMES:
+        known = ", ".join(BACKEND_NAMES)
+        raise ParameterError(
+            f"unknown backend {spec!r}; known backends: {known}"
+        )
+    _default = spec
+
+
+@contextmanager
+def use_backend(spec: str | PropagationBackend) -> Iterator[PropagationBackend]:
+    """Scope the default backend to a ``with`` block.
+
+    Yields the resolved instance so callers can also query it directly
+    (the bench harness reads evaluation counters off its wrapper this way).
+    """
+    global _default
+    previous = _default
+    set_default_backend(spec)
+    try:
+        yield resolve_backend(spec)
+    finally:
+        _default = previous

@@ -1,0 +1,169 @@
+"""Regression comparison between two ``BENCH.json`` documents.
+
+Cells are matched by scenario key.  Two kinds of drift are reported:
+
+* **Performance** — the seconds ratio ``current / prior``.  A cell whose
+  ratio exceeds the regression threshold is flagged; machine noise on
+  sub-millisecond cells is ignored via ``min_seconds``.
+* **Results** — for deterministic algorithms the chosen filter sequence
+  must be identical run-to-run; any difference is flagged regardless of
+  timing (a correctness, not a speed, signal).
+
+Typical use::
+
+    filter-placement bench --suite default --out BENCH.json \
+        --compare BENCH.prior.json --fail-on-regression 1.5
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.registry import DETERMINISTIC_ALGORITHM_NAMES
+
+#: Cells faster than this are too noisy to call a regression on.
+DEFAULT_MIN_SECONDS = 1e-3
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """One matched scenario cell, prior vs current."""
+
+    key: str
+    algorithm: str
+    prior_seconds: float
+    current_seconds: float
+    filters_changed: bool
+
+    @property
+    def ratio(self) -> float:
+        """``current / prior`` wall-clock ratio (inf when prior was 0)."""
+        if self.prior_seconds <= 0:
+            return float("inf") if self.current_seconds > 0 else 1.0
+        return self.current_seconds / self.prior_seconds
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of diffing a current document against a prior one."""
+
+    cells: list[CellComparison] = field(default_factory=list)
+    regressions: list[CellComparison] = field(default_factory=list)
+    result_drift: list[CellComparison] = field(default_factory=list)
+    only_in_prior: list[str] = field(default_factory=list)
+    only_in_current: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and no deterministic result moved."""
+        return not self.regressions and not self.result_drift
+
+
+def compare_documents(
+    prior: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    regression_ratio: float = 1.5,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> ComparisonReport:
+    """Diff two validated bench documents."""
+    prior_rows = {row["key"]: row for row in prior["results"]}
+    current_rows = {row["key"]: row for row in current["results"]}
+    report = ComparisonReport(
+        only_in_prior=sorted(set(prior_rows) - set(current_rows)),
+        only_in_current=sorted(set(current_rows) - set(prior_rows)),
+    )
+    for key in sorted(set(prior_rows) & set(current_rows)):
+        p, c = prior_rows[key], current_rows[key]
+        deterministic = c["algorithm"] in DETERMINISTIC_ALGORITHM_NAMES
+        cell = CellComparison(
+            key=key,
+            algorithm=c["algorithm"],
+            prior_seconds=float(p["seconds"]),
+            current_seconds=float(c["seconds"]),
+            filters_changed=deterministic
+            and list(p["filters"]) != list(c["filters"]),
+        )
+        report.cells.append(cell)
+        if cell.filters_changed:
+            report.result_drift.append(cell)
+        slow_enough = max(cell.prior_seconds, cell.current_seconds) >= min_seconds
+        if slow_enough and cell.ratio > regression_ratio:
+            report.regressions.append(cell)
+    return report
+
+
+def format_comparison(report: ComparisonReport) -> str:
+    """Human-readable comparison summary (CLI output)."""
+    from repro.analysis.report import format_table
+
+    lines: list[str] = []
+    if report.cells:
+        rows = [
+            [
+                cell.key,
+                f"{cell.prior_seconds * 1e3:.1f}",
+                f"{cell.current_seconds * 1e3:.1f}",
+                f"{cell.ratio:.2f}x",
+                "CHANGED" if cell.filters_changed else "",
+            ]
+            for cell in report.cells
+        ]
+        lines.append(
+            format_table(
+                ["scenario", "prior ms", "current ms", "ratio", "filters"],
+                rows,
+            )
+        )
+    else:
+        lines.append("(no overlapping scenarios)")
+    if report.only_in_prior:
+        lines.append(f"dropped cells: {', '.join(report.only_in_prior)}")
+    if report.only_in_current:
+        lines.append(f"new cells: {', '.join(report.only_in_current)}")
+    if report.result_drift:
+        lines.append(
+            f"RESULT DRIFT in {len(report.result_drift)} deterministic "
+            "cell(s) — filter sets changed"
+        )
+    if report.regressions:
+        worst = max(report.regressions, key=lambda c: c.ratio)
+        lines.append(
+            f"PERF REGRESSION in {len(report.regressions)} cell(s); "
+            f"worst {worst.ratio:.2f}x on {worst.key}"
+        )
+    if report.ok:
+        lines.append("comparison OK: no regressions, no result drift")
+    return "\n".join(lines)
+
+
+def summarize_speedups(
+    records_or_rows: Sequence[Any],
+    *,
+    baseline: str = "python",
+) -> dict[str, float]:
+    """Per-cell speedup of every non-baseline backend vs ``baseline``.
+
+    Accepts either :class:`~repro.bench.results.BenchRecord` objects or
+    raw ``results`` rows; returns ``{cell-key-sans-backend: speedup}``.
+    """
+    rows = [
+        r.to_json_dict() if hasattr(r, "to_json_dict") else r
+        for r in records_or_rows
+    ]
+    base: dict[str, float] = {}
+    others: dict[str, float] = {}
+    for row in rows:
+        stem, _, backend = row["key"].rpartition("/")
+        if backend == baseline:
+            base[stem] = float(row["seconds"])
+        else:
+            others[f"{stem}/{backend}"] = float(row["seconds"])
+    speedups: dict[str, float] = {}
+    for key, seconds in others.items():
+        stem = key.rpartition("/")[0]
+        if stem in base and seconds > 0:
+            speedups[key] = base[stem] / seconds
+    return speedups

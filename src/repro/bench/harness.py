@@ -1,0 +1,164 @@
+"""The benchmark runner: scenarios in, timed records out.
+
+For every scenario the harness
+
+1. generates (and memoizes) the dataset graph,
+2. wraps the requested propagation backend in a
+   :class:`~repro.bench.instrument.CountingBackend` and installs it as the
+   process default for the timed region — the algorithms resolve it through
+   the registry, so no algorithm needs bench-specific code,
+3. times ``algorithm.place(graph, k)`` best-of-``repeats``
+   (``time.perf_counter``), and
+4. scores the placement (``F(A)``, Filter Ratio) *outside* the timed
+   region, on the same backend.
+
+Records go to :mod:`repro.bench.results` for ``BENCH.json`` serialization
+and to :mod:`repro.bench.compare` for regression checks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+
+from repro.backends.registry import get_backend, use_backend
+from repro.bench.instrument import CountingBackend
+from repro.bench.results import BenchRecord
+from repro.bench.scenarios import BenchScenario
+from repro.core.objective import max_objective, objective_value, phi
+from repro.core.registry import get_algorithm
+from repro.datasets.registry import get_dataset
+from repro.exceptions import ParameterError
+from repro.graphs.cgraph import CGraph
+
+
+def _load_graph(scenario: BenchScenario) -> CGraph:
+    kwargs: dict[str, object] = {"seed": scenario.seed}
+    if scenario.scale is not None:
+        kwargs["scale"] = scenario.scale
+    return get_dataset(scenario.dataset, **kwargs)
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    *,
+    graph: CGraph | None = None,
+    repeats: int = 1,
+    phi_constants: tuple[int, int] | None = None,
+) -> BenchRecord:
+    """Measure one scenario cell.
+
+    ``phi_constants`` is an optional pre-computed ``(Φ(∅), F(V))`` pair for
+    ``graph`` — backend-independent, so :func:`run_suite` computes it once
+    per graph instead of twice per cell.
+    """
+    if repeats <= 0:
+        raise ParameterError("repeats must be positive")
+    if graph is None:
+        graph = _load_graph(scenario)
+    backend = get_backend(scenario.backend)
+    # Warm per-graph preprocessing (the numpy backend's levelization plan)
+    # outside the timed region: otherwise only the first cell per graph
+    # pays it and cell-to-cell comparisons depend on suite ordering.
+    backend.warm(graph)
+    counting = CountingBackend(backend)
+    algorithm = get_algorithm(scenario.algorithm)
+
+    best = float("inf")
+    result = None
+    with use_backend(counting):
+        for _ in range(repeats):
+            counting.reset()
+            start = time.perf_counter()
+            result = algorithm.place(graph, scenario.k)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+    assert result is not None  # repeats >= 1
+
+    # Score with at most three sweeps: Φ(∅) and Φ(V) (amortizable via
+    # phi_constants) plus Φ(A), each exactly once.
+    if phi_constants is None:
+        phi_empty = phi(graph, (), backend=backend)
+        f_max = max_objective(graph, phi_empty=phi_empty, backend=backend)
+    else:
+        phi_empty, f_max = phi_constants
+    objective = objective_value(
+        graph, result.filters, phi_empty=phi_empty, backend=backend
+    )
+    fr = 1.0 if f_max == 0 else objective / f_max
+    return BenchRecord(
+        scenario=scenario,
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        seconds=best,
+        repeats=repeats,
+        evaluations=dict(counting.counts),
+        filters=tuple(repr(v) for v in result.filters),
+        filters_found=len(result.filters),
+        objective=objective,
+        filter_ratio=fr,
+    )
+
+
+def run_suite(
+    scenarios: Sequence[BenchScenario],
+    *,
+    repeats: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchRecord]:
+    """Measure every scenario, reusing one graph per dataset cell.
+
+    ``progress`` (e.g. ``print``) receives one line per finished cell.
+    """
+    graphs: dict[tuple, CGraph] = {}
+    constants: dict[tuple, tuple[int, int]] = {}
+    records: list[BenchRecord] = []
+    for scenario in scenarios:
+        gkey = scenario.graph_key()
+        if gkey not in graphs:
+            graphs[gkey] = _load_graph(scenario)
+        graph = graphs[gkey]
+        if gkey not in constants:
+            phi_empty = phi(graph, ())
+            constants[gkey] = (
+                phi_empty,
+                max_objective(graph, phi_empty=phi_empty),
+            )
+        record = run_scenario(
+            scenario,
+            graph=graph,
+            repeats=repeats,
+            phi_constants=constants[gkey],
+        )
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"{scenario.key():<55} {record.seconds * 1e3:9.1f} ms  "
+                f"FR={record.filter_ratio:.4f}"
+            )
+    return records
+
+
+def render_records(records: Sequence[BenchRecord]) -> str:
+    """The records as an aligned text table (CLI output)."""
+    from repro.analysis.report import format_table
+
+    headers = [
+        "dataset", "alg", "k", "backend", "nodes", "edges",
+        "ms", "evals", "FR",
+    ]
+    rows = []
+    for r in records:
+        s = r.scenario
+        rows.append([
+            s.dataset if s.scale is None else f"{s.dataset}@{s.scale:g}",
+            s.algorithm,
+            str(s.k),
+            s.backend,
+            str(r.nodes),
+            str(r.edges),
+            f"{r.seconds * 1e3:.1f}",
+            str(sum(r.evaluations.values())),
+            f"{r.filter_ratio:.4f}",
+        ])
+    return format_table(headers, rows)

@@ -1,0 +1,146 @@
+"""Benchmark records and the ``BENCH.json`` interchange format.
+
+One :class:`BenchRecord` per scenario cell; a document is::
+
+    {
+      "schema_version": 1,
+      "meta": {"suite": ..., "created_unix": ..., "python": ..., ...},
+      "results": [
+        {
+          "key": "citation@default/seed0/G_All/k10/numpy",
+          "dataset": ..., "scale": ..., "seed": ..., "algorithm": ...,
+          "k": ..., "backend": ..., "nodes": ..., "edges": ...,
+          "seconds": ..., "repeats": ...,
+          "evaluations": {"marginal_gains": 10, ...},
+          "filters": ["'chain_0'", ...],     # repr()'d node ids
+          "filters_found": ..., "objective": ..., "filter_ratio": ...
+        }, ...
+      ]
+    }
+
+``BENCH.json`` at the repo root is the cross-PR trajectory file: each PR
+re-runs the default suite and the comparator (:mod:`repro.bench.compare`)
+diffs against the committed prior, so perf regressions and result drift
+(changed filter sets on deterministic algorithms) surface in review.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.bench.scenarios import BenchScenario
+
+#: Version of the document layout; bump on incompatible change.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """Measurements for one scenario cell."""
+
+    scenario: BenchScenario
+    nodes: int
+    edges: int
+    seconds: float
+    repeats: int
+    evaluations: dict[str, int] = field(default_factory=dict)
+    filters: tuple[str, ...] = ()  # repr()'d node ids, selection order
+    filters_found: int = 0
+    objective: int = 0
+    filter_ratio: float = 0.0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        doc = asdict(self)
+        scenario = doc.pop("scenario")
+        doc["filters"] = list(self.filters)
+        return {"key": self.scenario.key(), **scenario, **doc}
+
+
+def build_document(
+    records: list[BenchRecord],
+    *,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the ``BENCH.json`` document for ``records``."""
+    full_meta: dict[str, Any] = {
+        "created_unix": round(time.time(), 3),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    if meta:
+        full_meta.update(meta)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "meta": full_meta,
+        "results": [r.to_json_dict() for r in records],
+    }
+
+
+_REQUIRED_RESULT_FIELDS = (
+    "key",
+    "dataset",
+    "algorithm",
+    "k",
+    "backend",
+    "nodes",
+    "edges",
+    "seconds",
+    "evaluations",
+    "filters",
+    "filter_ratio",
+)
+
+
+def validate_document(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed bench document."""
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {doc.get('schema_version')!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    results = doc.get("results")
+    if not isinstance(results, list):
+        raise ValueError("bench document must carry a 'results' list")
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            raise ValueError(f"results[{i}] is not an object")
+        missing = [f for f in _REQUIRED_RESULT_FIELDS if f not in row]
+        if missing:
+            raise ValueError(f"results[{i}] is missing fields: {missing}")
+        if not isinstance(row["seconds"], (int, float)) or row["seconds"] < 0:
+            raise ValueError(f"results[{i}].seconds must be non-negative")
+
+
+def write_document(path: str, doc: dict[str, Any]) -> None:
+    """Validate, then write an already-built document to ``path``."""
+    validate_document(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def write_bench_json(
+    path: str,
+    records: list[BenchRecord],
+    *,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build, validate and write the document for ``records`` to ``path``."""
+    doc = build_document(records, meta=meta)
+    write_document(path, doc)
+    return doc
+
+
+def load_bench_json(path: str) -> dict[str, Any]:
+    """Load and validate a bench document from ``path``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_document(doc)
+    return doc

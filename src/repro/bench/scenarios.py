@@ -1,0 +1,163 @@
+"""The benchmark scenario matrix: dataset × algorithm × k × backend.
+
+A :class:`BenchScenario` is one fully-specified measurement; a *suite* is a
+named list of them.  Suites are plain functions so new matrices are one
+function away, and every suite crosses the propagation backends available
+in the environment unless the caller pins a subset.
+
+Built-in suites
+---------------
+``toy``
+    Seconds-long smoke matrix over the paper's figure graphs — what CI
+    runs to keep the perf plumbing honest.
+``default``
+    The trajectory matrix: the paper-scale datasets × the four greedy
+    algorithms × both backends.  ``BENCH.json`` files written from this
+    suite are comparable across PRs.
+``ablation``
+    Eager vs lazy ``Greedy_All`` across backends — the engine ablation
+    promised by :mod:`repro.core.greedy_all` (laziness only pays once a
+    cheap evaluation engine exists; this matrix shows exactly that).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One benchmark cell: run ``algorithm`` on ``dataset`` with ``backend``.
+
+    ``scale``/``seed`` parameterize the dataset generator (None means the
+    generator's default scale).  ``key()`` identifies the cell across runs
+    — the regression comparator matches prior and current records by it.
+    """
+
+    dataset: str
+    algorithm: str
+    k: int
+    backend: str
+    scale: float | None = None
+    seed: int = 0
+
+    def key(self) -> str:
+        scale = "default" if self.scale is None else f"{self.scale:g}"
+        return (
+            f"{self.dataset}@{scale}/seed{self.seed}"
+            f"/{self.algorithm}/k{self.k}/{self.backend}"
+        )
+
+    def graph_key(self) -> tuple[str, float | None, int]:
+        """Cache key for the generated graph (shared across cells)."""
+        return (self.dataset, self.scale, self.seed)
+
+
+def _cross(
+    cells: Sequence[tuple[str, float | None]],
+    algorithms: Sequence[str],
+    k: int,
+    backends: Sequence[str],
+    seed: int,
+) -> list[BenchScenario]:
+    return [
+        BenchScenario(
+            dataset=dataset,
+            algorithm=algorithm,
+            k=k,
+            backend=backend,
+            scale=scale,
+            seed=seed,
+        )
+        for dataset, scale in cells
+        for algorithm in algorithms
+        for backend in backends
+    ]
+
+
+def toy_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """Seconds-long smoke matrix over the figure graphs."""
+    backends = _resolve_backends(backends)
+    return _cross(
+        [("fig1", None), ("fig10", None)],
+        ("G_All", "G_Max", "G_1", "G_L"),
+        3,
+        backends,
+        seed,
+    )
+
+
+def default_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The cross-PR trajectory matrix at paper scale."""
+    backends = _resolve_backends(backends)
+    cells: list[tuple[str, float | None]] = [
+        ("synthetic-sparse", 2.0),  # n ≥ 2000: the backend speedup gate
+        ("synthetic-dense", 1.0),
+        ("quote", 1.0),
+        ("citation", 1.0),
+    ]
+    return _cross(
+        cells, ("G_All", "G_Max", "G_1", "G_L"), 10, backends, seed
+    )
+
+
+def ablation_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """Eager vs lazy ``Greedy_All`` across propagation backends.
+
+    The comparison :class:`repro.core.greedy_all.LazyGreedyAll` documents:
+    with a linear-sweep engine the lazy variant cannot win asymptotically,
+    but the cheaper each sweep gets, the closer the two run — so the gap
+    is itself a measure of engine cost.
+    """
+    backends = _resolve_backends(backends)
+    return _cross(
+        [("fig10", None), ("synthetic-sparse", 1.0)],
+        ("G_All", "G_All_lazy"),
+        8,
+        backends,
+        seed,
+    )
+
+
+_SUITES = {
+    "toy": toy_suite,
+    "default": default_suite,
+    "ablation": ablation_suite,
+}
+
+#: Every built-in suite name, in presentation order.
+SUITE_NAMES: tuple[str, ...] = tuple(_SUITES)
+
+
+def _resolve_backends(backends: Sequence[str] | None) -> tuple[str, ...]:
+    if backends is None:
+        from repro.backends.registry import available_backends
+
+        return available_backends()
+    return tuple(backends)
+
+
+def get_suite(
+    name: str,
+    *,
+    backends: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[BenchScenario]:
+    """The scenarios of the suite registered under ``name``."""
+    try:
+        factory = _SUITES[name]
+    except KeyError:
+        known = ", ".join(SUITE_NAMES)
+        raise ParameterError(
+            f"unknown bench suite {name!r}; known suites: {known}"
+        ) from None
+    return factory(backends=backends, seed=seed)

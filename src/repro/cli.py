@@ -12,6 +12,13 @@ Subcommands
     :mod:`repro.experiments.runner`).
 ``generate``
     Write a built-in dataset to an edge-list file.
+``bench``
+    Run a benchmark suite (:mod:`repro.bench`), print the table, write
+    ``BENCH.json``, and optionally compare against a prior run.
+
+``--backend {python,numpy,auto}`` selects the propagation backend
+(``auto``, the default, uses NumPy when available); every backend returns
+identical results.
 
 Examples
 --------
@@ -19,19 +26,24 @@ Examples
 
     filter-placement place --dataset quote --algorithm G_All -k 4
     filter-placement place --edges my_graph.txt --algorithm G_Max -k 10
+    filter-placement place --dataset citation -k 10 --backend numpy
     filter-placement stats --dataset citation --scale 0.1
     filter-placement experiment fig7 --fast
     filter-placement generate --dataset twitter --scale 0.05 -o twitter.txt
+    filter-placement bench --suite toy --out BENCH.json
+    filter-placement bench --suite default --compare BENCH.prior.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
 from repro.analysis.metrics import describe
 from repro.analysis.report import format_stats_table, format_table
+from repro.backends.registry import BACKEND_NAMES, use_backend
 from repro.core.objective import filter_ratio, max_objective, phi
 from repro.core.registry import ALGORITHM_NAMES, get_algorithm
 from repro.datasets.loaders import load_real_dataset
@@ -67,7 +79,23 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=None)
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="propagation backend (default: auto = numpy when available)",
+    )
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
+    # Scoped, not set_default_backend: main() is also a library entry
+    # point and must not leak a changed process default to its caller.
+    with use_backend(args.backend):
+        return _run_place(args)
+
+
+def _run_place(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     algorithm = get_algorithm(args.algorithm)
     result = algorithm.place(graph, args.k)
@@ -115,7 +143,121 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.scale is not None:
         forwarded.extend(["--scale", str(args.scale)])
     forwarded.extend(["--seed", str(args.seed)])
+    forwarded.extend(["--backend", args.backend])
     return runner_main(forwarded)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.compare import compare_documents, format_comparison
+    from repro.bench.harness import render_records, run_suite
+    from repro.bench.results import (
+        build_document,
+        load_bench_json,
+        write_document,
+    )
+    from repro.bench.scenarios import get_suite
+
+    if args.fail_on_regression is not None:
+        if args.compare is None:
+            print(
+                "error: --fail-on-regression requires --compare "
+                "(there is no prior to regress against)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.fail_on_regression <= 1.0:
+            print(
+                "error: --fail-on-regression must exceed 1.0 "
+                "(it is a current/prior slowdown ratio)",
+                file=sys.stderr,
+            )
+            return 2
+    # Fail fast on an unwritable --out before spending minutes on the
+    # suite; the write itself is still guarded below for late failures.
+    out_parent = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_parent):
+        print(
+            f"error: output directory {out_parent!r} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    # Load the prior before writing --out: the two may be the same path
+    # (the committed BENCH.json trajectory file is compared in place).
+    prior = None
+    if args.compare is not None:
+        try:
+            prior = load_bench_json(args.compare)
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot load prior bench file {args.compare!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    scenarios = get_suite(args.suite, backends=args.backends, seed=args.seed)
+    records = run_suite(
+        scenarios,
+        repeats=args.repeats,
+        progress=None if args.quiet else print,
+    )
+    print()
+    print(render_records(records))
+    doc = build_document(
+        records,
+        meta={"suite": args.suite, "repeats": args.repeats, "seed": args.seed},
+    )
+    report = None
+    if prior is not None:
+        report = compare_documents(
+            prior, doc, regression_ratio=args.fail_on_regression or 1.5
+        )
+    # A failing gate must not clobber the baseline it just compared
+    # against (an immediate re-run would self-compare and pass): park the
+    # regressed results next to it instead.  Beyond regressions/drift,
+    # the gate also rejects runs it cannot meaningfully compare: zero
+    # overlapping cells (stale baseline after a suite/seed change),
+    # mismatched --repeats (best-of-N timings are not comparable across
+    # N), and runs that would silently shrink the baseline's coverage.
+    gate_reason = None
+    if args.fail_on_regression is not None:
+        prior_repeats = (prior.get("meta") or {}).get("repeats")
+        if report is None or not report.cells:
+            gate_reason = (
+                "no overlapping scenarios with the prior — stale baseline?"
+            )
+        elif prior_repeats is not None and prior_repeats != args.repeats:
+            gate_reason = (
+                f"prior was measured with --repeats {prior_repeats}, "
+                f"this run with {args.repeats}"
+            )
+        elif report.only_in_prior:
+            gate_reason = (
+                f"this run covers {len(report.only_in_prior)} fewer cell(s) "
+                "than the prior baseline"
+            )
+        elif not report.ok:
+            gate_reason = "regressions or result drift detected"
+    gate_failed = gate_reason is not None
+    out_path = f"{args.out}.rejected" if gate_failed else args.out
+    try:
+        write_document(out_path, doc)
+    except OSError as exc:
+        print(
+            f"error: cannot write bench file {out_path!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"\nwrote {len(records)} result(s) to {out_path}")
+    if report is not None:
+        print()
+        print(format_comparison(report))
+    if gate_failed:
+        print(
+            f"regression gate failed: {gate_reason}; baseline {args.out!r} "
+            f"left untouched; current results parked at {out_path!r}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ALGORITHM_NAMES,
     )
     place.add_argument("-k", type=int, required=True, help="filter budget")
+    _add_backend_argument(place)
     place.set_defaults(func=_cmd_place)
 
     stats = sub.add_parser("stats", help="dataset structural summary")
@@ -150,7 +293,49 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--fast", action="store_true")
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--scale", type=float, default=None)
+    _add_backend_argument(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    from repro.bench.scenarios import SUITE_NAMES
+
+    bench = sub.add_parser(
+        "bench", help="run a benchmark suite, write BENCH.json"
+    )
+    bench.add_argument(
+        "--suite",
+        choices=SUITE_NAMES,
+        default="default",
+        help="scenario matrix to run (default: default)",
+    )
+    bench.add_argument(
+        "-o", "--out", default="BENCH.json", help="results file to write"
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="PRIOR_JSON",
+        help="prior BENCH.json to diff against",
+    )
+    bench.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 3 when any cell slows beyond RATIO (requires --compare)",
+    )
+    bench.add_argument("--repeats", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--backends",
+        nargs="+",
+        choices=("python", "numpy"),
+        default=None,
+        help="restrict the backend axis (default: all available)",
+    )
+    bench.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -16,8 +16,14 @@ Two implementations with identical outputs:
   skip most re-evaluations.  With this library's impact engine a *single*
   re-evaluation already costs a full linear sweep, so laziness cannot beat
   the eager version asymptotically — the class exists as an ablation
-  (benchmarked in ``benchmarks/bench_ablation_engines.py``) and as the
-  natural choice if a per-node incremental engine is ever added.
+  (run ``filter-placement bench --suite ablation``, implemented by
+  :func:`repro.bench.scenarios.ablation_suite`, which crosses eager/lazy
+  with every propagation backend) and as the natural choice if a per-node
+  incremental engine is ever added.
+
+Both classes evaluate gains through the pluggable backend registry
+(:mod:`repro.backends.registry`); pass ``backend=`` to pin one, or leave
+it None to use the process default (the CLI's ``--backend`` flag).
 """
 
 from __future__ import annotations
@@ -25,11 +31,14 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.core.base import PlacementResult, PlacementStep, check_budget
 from repro.core.impact import marginal_gains
 from repro.graphs.cgraph import CGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
 
 Node = Hashable
 
@@ -46,8 +55,14 @@ class GreedyAll:
     name = "G_All"
     prefix_consistent = True
 
-    def __init__(self, *, early_stop: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        early_stop: bool = True,
+        backend: "str | PropagationBackend | None" = None,
+    ) -> None:
         self.early_stop = early_stop
+        self.backend = backend
         if not early_stop:
             self.name = "G_All_paper"
 
@@ -64,7 +79,7 @@ class GreedyAll:
         steps: list[PlacementStep] = []
         current: set[Node] = set()
         for _ in range(k):
-            gains = marginal_gains(graph, current)
+            gains = marginal_gains(graph, current, backend=self.backend)
             best: Node | None = None
             best_gain = 0
             for v, gain in gains.items():
@@ -98,6 +113,13 @@ class LazyGreedyAll:
     name = "G_All_lazy"
     prefix_consistent = True
 
+    def __init__(
+        self,
+        *,
+        backend: "str | PropagationBackend | None" = None,
+    ) -> None:
+        self.backend = backend
+
     def place(
         self,
         graph: CGraph,
@@ -109,7 +131,7 @@ class LazyGreedyAll:
         node_rank = {v: i for i, v in enumerate(graph.nodes())}
         counter = itertools.count()
 
-        cached = marginal_gains(graph, ())
+        cached = marginal_gains(graph, (), backend=self.backend)
         # Max-heap of (-gain, rank, tiebreak, node); rank ordering makes tie
         # resolution bit-identical to the eager implementation.
         heap: list[tuple[int, int, int, Node]] = [
@@ -141,7 +163,7 @@ class LazyGreedyAll:
             # Stale entry: refresh (at most one sweep per selection round —
             # further stale pops in the same round reuse the cached sweep).
             if swept_round != round_no:
-                cached = marginal_gains(graph, current)
+                cached = marginal_gains(graph, current, backend=self.backend)
                 swept_round = round_no
             gain = cached[v]
             scored_round[v] = round_no

@@ -18,11 +18,14 @@ toward nodes far down the graph and its FR curve converges more slowly.
 from __future__ import annotations
 
 import random
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.core.base import PlacementResult, PlacementStep, check_budget
 from repro.graphs.cgraph import CGraph
 from repro.propagation.engine import item_receipts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
 
 Node = Hashable
 
@@ -31,29 +34,56 @@ def simplified_impacts(
     graph: CGraph,
     filters: set[Node],
     *,
-    _order: tuple[Node, ...] | None = None,
+    backend: "str | PropagationBackend | None" = None,
 ) -> dict[Node, int]:
     """``I'(v) = Prefix(v) × dout(v)`` under the current filter set.
 
-    Prefixes aggregate one item per source, as everywhere else.
+    Prefixes aggregate one item per source, as everywhere else.  Routed
+    through the pluggable backend registry; every backend returns
+    identical integers.
     """
+    from repro.backends.registry import resolve_backend
+
+    return resolve_backend(backend).simplified_impacts(graph, filters)
+
+
+def simplified_impacts_exact(
+    graph: CGraph,
+    filters: set[Node],
+    *,
+    _order: tuple[Node, ...] | None = None,
+) -> dict[Node, int]:
+    """:func:`simplified_impacts` via the exact big-int sweeps (the
+    ``python`` backend's implementation)."""
     order = _order if _order is not None else graph.topological_order()
     totals: dict[Node, int] = dict.fromkeys(order, 0)
     for origin in graph.sources:
         psi = item_receipts(graph, origin, filters, _order=order)
         for v in order:
             totals[v] += psi[v]
+    # Keyed in graph.nodes() order — the cross-backend canonical order.
     return {
         v: totals[v] * graph.out_degree(v)
-        for v in order
+        for v in graph.nodes()
     }
 
 
 class GreedyL:
-    """The paper's ``Greedy_L`` (Algorithm 2)."""
+    """The paper's ``Greedy_L`` (Algorithm 2).
+
+    Score sweeps run on the propagation backend given by ``backend``
+    (None = the registry default).
+    """
 
     name = "G_L"
     prefix_consistent = True
+
+    def __init__(
+        self,
+        *,
+        backend: "str | PropagationBackend | None" = None,
+    ) -> None:
+        self.backend = backend
 
     def place(
         self,
@@ -69,7 +99,7 @@ class GreedyL:
         steps: list[PlacementStep] = []
         current: set[Node] = set()
         for _ in range(k):
-            scores = simplified_impacts(graph, current, _order=order)
+            scores = simplified_impacts(graph, current, backend=self.backend)
             best: Node | None = None
             best_score = 0
             for v in order:

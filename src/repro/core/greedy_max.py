@@ -14,20 +14,34 @@ why its FR curve plateaus on the citation graph (Figure 9).
 from __future__ import annotations
 
 import random
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.core.base import PlacementResult, PlacementStep, check_budget
 from repro.core.impact import impacts
 from repro.graphs.cgraph import CGraph
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
+
 Node = Hashable
 
 
 class GreedyMax:
-    """The paper's ``Greedy_Max`` heuristic."""
+    """The paper's ``Greedy_Max`` heuristic.
+
+    The single impact sweep runs on the propagation backend given by
+    ``backend`` (None = the registry default).
+    """
 
     name = "G_Max"
     prefix_consistent = True
+
+    def __init__(
+        self,
+        *,
+        backend: "str | PropagationBackend | None" = None,
+    ) -> None:
+        self.backend = backend
 
     def place(
         self,
@@ -38,7 +52,7 @@ class GreedyMax:
     ) -> PlacementResult:
         check_budget(graph, k)
         node_rank = {v: i for i, v in enumerate(graph.nodes())}
-        scored = impacts(graph)
+        scored = impacts(graph, backend=self.backend)
         ranked = sorted(
             (v for v, gain in scored.items() if gain > 0),
             key=lambda v: (-scored[v], node_rank[v]),

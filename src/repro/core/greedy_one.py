@@ -30,10 +30,18 @@ def degree_score(graph: CGraph, node: Node) -> int:
 
 
 class GreedyOne:
-    """The paper's ``Greedy_1`` heuristic."""
+    """The paper's ``Greedy_1`` heuristic.
+
+    ``backend`` is accepted for signature uniformity with the rest of the
+    greedy family but ignored: ``m(v)`` is pure degree bookkeeping and
+    never evaluates propagation.
+    """
 
     name = "G_1"
     prefix_consistent = True
+
+    def __init__(self, *, backend: object | None = None) -> None:
+        self.backend = backend
 
     def place(
         self,

@@ -30,17 +30,25 @@ implementations are cross-checked in the test suite.
 
 Everything aggregates over one item per source (distinct items, as in the
 paper); ``W`` is item-independent, ``ψ`` is per-item.
+
+:func:`marginal_gains` dispatches through the pluggable backend registry
+(:mod:`repro.backends.registry`): the dict sweeps below are the ``python``
+backend's implementation, and the ``numpy`` backend computes the same
+``ψ``/``W`` passes as batched level-synchronous array operations.
 """
 
 from __future__ import annotations
 
 from collections.abc import Collection
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.exceptions import MissingSourceError
 from repro.graphs.cgraph import CGraph
 from repro.graphs.validation import validate_filter_set
 from repro.propagation.engine import item_receipts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
 
 Node = Hashable
 
@@ -86,10 +94,27 @@ def absorbing_suffix(
 def marginal_gains(
     graph: CGraph,
     filters: Collection[Node] = (),
+    *,
+    backend: "str | PropagationBackend | None" = None,
 ) -> dict[Node, int]:
     """``I(v | A) = F(A ∪ {v}) − F(A)`` for every node at once.
 
     Nodes already in ``A`` report 0 (re-adding them changes nothing).
+    ``backend`` selects the propagation backend (name, instance, or None
+    for the registry default); every backend returns identical integers.
+    """
+    from repro.backends.registry import resolve_backend
+
+    return resolve_backend(backend).marginal_gains(graph, filters)
+
+
+def marginal_gains_exact(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+) -> dict[Node, int]:
+    """:func:`marginal_gains` via the exact big-int sweeps (the ``python``
+    backend's implementation).
+
     Cost: one ``W`` pass plus one ``ψ`` pass per source.
     """
     if not graph.sources:
@@ -98,7 +123,9 @@ def marginal_gains(
     validate_filter_set(graph, filter_set)
     order = graph.topological_order()
     w = absorbing_suffix(graph, filter_set, _order=order)
-    gains: dict[Node, int] = dict.fromkeys(order, 0)
+    # Keyed in graph.nodes() order — the cross-backend canonical order, so
+    # serialized results match the numpy backend's byte for byte.
+    gains: dict[Node, int] = dict.fromkeys(graph.nodes(), 0)
     for origin in graph.sources:
         psi = item_receipts(graph, origin, filter_set, _order=order)
         for v in order:
@@ -110,15 +137,21 @@ def marginal_gains(
     return gains
 
 
-def impacts(graph: CGraph) -> dict[Node, int]:
+def impacts(
+    graph: CGraph,
+    *,
+    backend: "str | PropagationBackend | None" = None,
+) -> dict[Node, int]:
     """Initial impacts ``I(v) = I(v | ∅)`` — what ``Greedy_Max`` ranks by."""
-    return marginal_gains(graph, ())
+    return marginal_gains(graph, (), backend=backend)
 
 
 def marginal_gain(
     graph: CGraph,
     filters: Collection[Node],
     node: Node,
+    *,
+    backend: "str | PropagationBackend | None" = None,
 ) -> int:
     """``I(node | A)`` for a single node, via the same two-pass machinery."""
-    return marginal_gains(graph, filters)[node]
+    return marginal_gains(graph, filters, backend=backend)[node]

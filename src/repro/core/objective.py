@@ -9,16 +9,23 @@ Definitions, for c-graph ``G(V, E)`` and filter set ``A ⊆ V``:
   (:func:`filter_ratio`).  ``FR = 1`` means all removable redundancy is gone.
 * Proposition 1 — the unbounded-budget optimum is the merge-node set
   ``{v : din(v) > 1 and dout(v) > 0}`` (:func:`minimal_perfect_filter_set`).
+
+All ``Φ`` evaluations route through the pluggable backend registry; the
+``backend`` keyword (name, instance, or None for the registry default)
+selects the engine without changing any result.
 """
 
 from __future__ import annotations
 
 from collections.abc import Collection, Mapping
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.graphs.cgraph import CGraph
 from repro.graphs.validation import validate_filter_set
 from repro.propagation.engine import total_receipts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
 
 Node = Hashable
 
@@ -28,10 +35,13 @@ def phi(
     filters: Collection[Node] = (),
     *,
     items_per_source: int | Mapping[Node, int] = 1,
+    backend: "str | PropagationBackend | None" = None,
 ) -> int:
     """``Φ(A, V)``: copies received across all nodes, summed over items."""
     validate_filter_set(graph, set(filters))
-    return total_receipts(graph, filters, items_per_source=items_per_source)
+    return total_receipts(
+        graph, filters, items_per_source=items_per_source, backend=backend
+    )
 
 
 def objective_value(
@@ -40,14 +50,19 @@ def objective_value(
     *,
     items_per_source: int | Mapping[Node, int] = 1,
     phi_empty: int | None = None,
+    backend: "str | PropagationBackend | None" = None,
 ) -> int:
     """``F(A) = Φ(∅, V) − Φ(A, V)``.
 
     ``phi_empty`` lets sweep loops amortize the (filter-free) baseline.
     """
     if phi_empty is None:
-        phi_empty = phi(graph, (), items_per_source=items_per_source)
-    return phi_empty - phi(graph, filters, items_per_source=items_per_source)
+        phi_empty = phi(
+            graph, (), items_per_source=items_per_source, backend=backend
+        )
+    return phi_empty - phi(
+        graph, filters, items_per_source=items_per_source, backend=backend
+    )
 
 
 def max_objective(
@@ -55,6 +70,7 @@ def max_objective(
     *,
     items_per_source: int | Mapping[Node, int] = 1,
     phi_empty: int | None = None,
+    backend: "str | PropagationBackend | None" = None,
 ) -> int:
     """``F(V)``: the most redundancy any filter set can remove.
 
@@ -66,6 +82,7 @@ def max_objective(
         graph.nodes(),
         items_per_source=items_per_source,
         phi_empty=phi_empty,
+        backend=backend,
     )
 
 
@@ -76,6 +93,7 @@ def filter_ratio(
     items_per_source: int | Mapping[Node, int] = 1,
     phi_empty: int | None = None,
     f_max: int | None = None,
+    backend: "str | PropagationBackend | None" = None,
 ) -> float:
     """``FR(A) = F(A) / F(V)`` — Section 5's performance metric.
 
@@ -87,10 +105,15 @@ def filter_ratio(
     ``phi_empty`` / ``f_max`` allow sweeps to amortize the two constants.
     """
     if phi_empty is None:
-        phi_empty = phi(graph, (), items_per_source=items_per_source)
+        phi_empty = phi(
+            graph, (), items_per_source=items_per_source, backend=backend
+        )
     if f_max is None:
         f_max = max_objective(
-            graph, items_per_source=items_per_source, phi_empty=phi_empty
+            graph,
+            items_per_source=items_per_source,
+            phi_empty=phi_empty,
+            backend=backend,
         )
     if f_max == 0:
         return 1.0
@@ -99,12 +122,16 @@ def filter_ratio(
         filters,
         items_per_source=items_per_source,
         phi_empty=phi_empty,
+        backend=backend,
     )
     return value / f_max
 
 
 def minimal_perfect_filter_set(
-    graph: CGraph, *, prune: bool = False
+    graph: CGraph,
+    *,
+    prune: bool = False,
+    backend: "str | PropagationBackend | None" = None,
 ) -> frozenset[Node]:
     """Proposition 1: the minimal unbounded-budget optimum.
 
@@ -122,11 +149,11 @@ def minimal_perfect_filter_set(
     candidates = list(graph.merge_nodes())
     if not prune:
         return frozenset(candidates)
-    target = phi(graph, graph.nodes())
+    target = phi(graph, graph.nodes(), backend=backend)
     kept = set(candidates)
     # Drop candidates greedily; order is the deterministic node order.
     for v in candidates:
         kept.discard(v)
-        if phi(graph, kept) != target:
+        if phi(graph, kept, backend=backend) != target:
             kept.add(v)
     return frozenset(kept)

@@ -42,8 +42,20 @@ def run_experiments(
     seed: int = 0,
     scale: float | None = None,
     trials: int | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentResult]:
-    """Run the named experiments and return their results in order."""
+    """Run the named experiments and return their results in order.
+
+    ``backend`` scopes the propagation backend for the whole run (a name
+    from :data:`repro.backends.BACKEND_NAMES`; None keeps the default).
+    """
+    if backend is not None:
+        from repro.backends.registry import use_backend
+
+        with use_backend(backend):
+            return run_experiments(
+                names, fast=fast, seed=seed, scale=scale, trials=trials
+            )
     results: list[ExperimentResult] = []
     for name in names:
         driver = get_experiment(name)
@@ -76,6 +88,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--trials", type=int, default=None)
+    from repro.backends.registry import BACKEND_NAMES
+
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="propagation backend for every evaluation (default: auto)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENT_NAMES) if "all" in args.names else args.names
@@ -86,6 +106,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         scale=args.scale,
         trials=args.trials,
+        backend=args.backend,
     ):
         print(result.render())
     print(f"[{time.perf_counter() - start:.1f}s total]")

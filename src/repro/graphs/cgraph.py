@@ -78,6 +78,9 @@ class CGraph:
         "_num_edges",
         "_topo_cache",
         "_is_dag_cache",
+        # Weak referencing enables external per-graph caches (the numpy
+        # backend's levelization plans) without pinning graphs alive.
+        "__weakref__",
     )
 
     def __init__(

@@ -8,6 +8,9 @@ Three engines, one semantics:
 
 * :mod:`repro.propagation.engine` — exact receipt counts on DAGs via
   topological passes; the workhorse behind every algorithm and experiment.
+  Its aggregate entry points dispatch through the pluggable backend
+  registry (:mod:`repro.backends`), so the vectorized NumPy engine drops
+  in transparently when available.
 * :mod:`repro.propagation.simulator` — a literal event-driven relay
   simulator; slower, but works on cyclic graphs with cycle-breaking filter
   sets and serves as the ground-truth oracle in the test suite.

@@ -18,15 +18,26 @@ exact Python integers.
 Multiple sources generate *distinct* items (paper §3); per-item counts are
 computed independently and summed.  Because copies of distinct items never
 interact (filters deduplicate per item), this aggregation is exact.
+
+The aggregate entry points (:func:`node_receipts`, :func:`total_receipts`)
+dispatch through the pluggable backend registry
+(:mod:`repro.backends.registry`): the exact big-int sweeps below are the
+``python`` backend's implementation, while the ``numpy`` backend batches
+all sources into vectorized level sweeps and falls back here when int64
+could overflow.  :func:`item_receipts` is the per-item primitive and always
+runs exactly.
 """
 
 from __future__ import annotations
 
 from collections.abc import Collection, Mapping
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.exceptions import MissingNodeError, MissingSourceError
 from repro.graphs.cgraph import CGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
 
 Node = Hashable
 
@@ -78,6 +89,7 @@ def node_receipts(
     filters: Collection[Node] = (),
     *,
     items_per_source: int | Mapping[Node, int] = 1,
+    backend: "str | PropagationBackend | None" = None,
 ) -> dict[Node, int]:
     """Total receipts per node, aggregated over all sources' items.
 
@@ -86,7 +98,25 @@ def node_receipts(
     items from the same source propagate identically, so their receipt
     counts are the single-item counts scaled — computed once and
     multiplied, exactly.
+
+    ``backend`` selects the propagation backend (name, instance, or None
+    for the registry default); every backend returns identical integers.
     """
+    from repro.backends.registry import resolve_backend
+
+    return resolve_backend(backend).node_receipts(
+        graph, filters, items_per_source=items_per_source
+    )
+
+
+def node_receipts_exact(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    *,
+    items_per_source: int | Mapping[Node, int] = 1,
+) -> dict[Node, int]:
+    """:func:`node_receipts` via the exact big-int sweeps (the ``python``
+    backend's implementation; fast backends fall back here on overflow)."""
     if not graph.sources:
         raise MissingSourceError("graph has no sources")
     order = graph.topological_order()
@@ -110,12 +140,13 @@ def total_receipts(
     filters: Collection[Node] = (),
     *,
     items_per_source: int | Mapping[Node, int] = 1,
+    backend: "str | PropagationBackend | None" = None,
 ) -> int:
     """``Φ(A, V)``: the grand total number of received copies."""
-    return sum(
-        node_receipts(
-            graph, filters, items_per_source=items_per_source
-        ).values()
+    from repro.backends.registry import resolve_backend
+
+    return resolve_backend(backend).total_receipts(
+        graph, filters, items_per_source=items_per_source
     )
 
 

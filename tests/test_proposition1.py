@@ -1,0 +1,59 @@
+"""Proposition 1: filters on all non-sink merge nodes remove all redundancy.
+
+``minimal_perfect_filter_set`` must achieve ``FR = 1`` (equivalently
+``F(A) = F(V)``) on every graph, and the pruned variant must stay perfect
+while never being larger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import random_dag
+from repro.core.objective import (
+    filter_ratio,
+    max_objective,
+    minimal_perfect_filter_set,
+    objective_value,
+)
+from repro.datasets.citation import citation_like_graph
+from repro.datasets.synthetic import sparse_synthetic
+from repro.datasets.toy import (
+    fig1_graph,
+    fig2_like_graph,
+    fig3_like_graph,
+    fig10_sketch_graph,
+)
+
+GRAPHS = {
+    "fig1": fig1_graph,
+    "fig2": fig2_like_graph,
+    "fig3": fig3_like_graph,
+    "fig10": fig10_sketch_graph,
+    "synthetic": lambda: sparse_synthetic(seed=1, scale=0.08),
+    "citation": lambda: citation_like_graph(seed=1, scale=0.01),
+    "random": lambda: random_dag(3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_merge_node_set_is_perfect(name):
+    graph = GRAPHS[name]()
+    perfect = minimal_perfect_filter_set(graph)
+    assert objective_value(graph, perfect) == max_objective(graph)
+    assert filter_ratio(graph, perfect) == 1.0
+
+
+@pytest.mark.parametrize("name", ["fig1", "fig10", "random"])
+def test_pruned_set_stays_perfect_and_no_larger(name):
+    graph = GRAPHS[name]()
+    full = minimal_perfect_filter_set(graph)
+    pruned = minimal_perfect_filter_set(graph, prune=True)
+    assert pruned <= full
+    assert filter_ratio(graph, pruned) == 1.0
+
+
+def test_fig1_unique_useful_filter(fig1):
+    # The worked Section 2 example: z2 is the only merge node, and the
+    # perfect set is exactly {z2}.
+    assert minimal_perfect_filter_set(fig1) == frozenset({"z2"})
