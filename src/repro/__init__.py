@@ -78,6 +78,7 @@ from repro.core import (
     greedy_max,
     greedy_one,
     impacts,
+    lazy_greedy_all,
     marginal_gains,
     max_objective,
     minimal_perfect_filter_set,
@@ -85,9 +86,10 @@ from repro.core import (
     optimal_placement,
     phi,
     tree_optimal_placement,
+    use_strategy,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -125,10 +127,12 @@ __all__ = [
     "impacts",
     "marginal_gains",
     "greedy_all",
+    "lazy_greedy_all",
     "greedy_max",
     "greedy_one",
     "greedy_l",
     "tree_optimal_placement",
     "optimal_placement",
     "get_algorithm",
+    "use_strategy",
 ]

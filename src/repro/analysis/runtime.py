@@ -1,17 +1,25 @@
-"""Wall-clock comparison of placement algorithms (Figure 11).
+"""Wall-clock and evaluation-count comparison of algorithms (Figure 11).
 
 The paper measures seconds to place ten filters on the Twitter graph.
 Absolute numbers are hardware- and engine-dependent (this library's impact
 engine is asymptotically faster than the paper's plist bookkeeping, by
 design); the reproduced claim is the *relative ordering*
 ``G_1 ≪ {G_L, G_Max} < G_All``.
+
+Beyond the stopwatch, every measurement carries the propagation
+evaluation counters (via :class:`repro.bench.instrument.CountingBackend`)
+— **total** and **per placement step** — so the lazy-greedy savings are
+visible where they happen: eager ``Greedy_All`` charges one
+``marginal_gains`` sweep to every step, while CELF charges one
+``session_init`` sweep to the first step and only regional
+``session_update``/``session_refresh`` operations to the rest.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.registry import get_algorithm
@@ -24,12 +32,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class RuntimeMeasurement:
-    """Seconds to place ``k`` filters with one algorithm."""
+    """Cost to place ``k`` filters with one algorithm.
+
+    ``evaluations`` is the ground-truth counter ledger of one placement
+    run (keys from :data:`repro.bench.instrument.EVALUATION_KINDS`).
+    ``step_evaluations`` breaks the work down per placement step, from
+    the algorithm's own :class:`~repro.core.base.PlacementStep` records —
+    one dict per chosen filter, in selection order.
+    """
 
     algorithm: str
     k: int
     seconds: float
     filters_found: int
+    evaluations: dict[str, int] = field(default_factory=dict)
+    step_evaluations: tuple[dict[str, int], ...] = ()
+
+    def sweeps(self) -> int:
+        """Full-graph propagation sweeps this run performed."""
+        from repro.bench.instrument import sweep_count
+
+        return sweep_count(self.evaluations)
 
 
 def time_algorithm(
@@ -43,15 +66,20 @@ def time_algorithm(
     """Best-of-``repeats`` wall-clock time of one placement run.
 
     ``backend`` scopes the propagation backend for the timed runs (None =
-    the registry default), so Figure 11 can be produced per-engine.
+    the registry default), so Figure 11 can be produced per-engine.  The
+    backend is wrapped in a counting shim (negligible overhead: one dict
+    increment per evaluation) so the measurement also reports how many
+    propagation evaluations of each kind the run needed, in total and
+    per placement step.
     """
     if repeats <= 0:
         raise ParameterError("repeats must be positive")
     from repro.backends.registry import get_default_backend, use_backend
+    from repro.bench.instrument import CountingBackend
 
     algorithm = get_algorithm(algorithm_name)
     best = float("inf")
-    found = 0
+    result = None
     with use_backend(
         backend if backend is not None else get_default_backend()
     ) as active:
@@ -60,14 +88,24 @@ def time_algorithm(
         # cached topological orders) would otherwise land on whichever
         # propagation-using algorithm happens to run first.
         active.warm(graph)
-        for _ in range(repeats):
-            start = time.perf_counter()
-            result = algorithm.place(graph, k)
-            elapsed = time.perf_counter() - start
-            best = min(best, elapsed)
-            found = len(result.filters)
+        counting = CountingBackend(active)
+        with use_backend(counting):
+            for _ in range(repeats):
+                counting.reset()
+                start = time.perf_counter()
+                result = algorithm.place(graph, k)
+                elapsed = time.perf_counter() - start
+                best = min(best, elapsed)
+    assert result is not None  # repeats >= 1
     return RuntimeMeasurement(
-        algorithm=algorithm_name, k=k, seconds=best, filters_found=found
+        algorithm=algorithm_name,
+        k=k,
+        seconds=best,
+        filters_found=len(result.filters),
+        evaluations=dict(counting.counts),
+        step_evaluations=tuple(
+            step.evaluation_counts() for step in result.steps
+        ),
     )
 
 

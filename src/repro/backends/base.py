@@ -19,6 +19,18 @@ Contract (shared by all backends, enforced by the equivalence tests):
   per-graph data (levelizations, index maps) because :class:`CGraph` is
   immutable.
 
+Beyond the one-shot sweep queries, every backend also offers an
+**incremental impact path**: :meth:`PropagationBackend.gain_session`
+returns a :class:`GainSession` that keeps ``ψ`` (per-source receipts),
+``W`` (the absorbing suffix) and every marginal gain ``I(v | A)`` alive
+across placements.  After a filter is placed the session recomputes the
+deltas only inside the *affected DAG region* — descendants of the new
+filter for ``ψ``, ancestors for ``W`` — instead of re-sweeping the whole
+graph.  This is what makes the lazy-greedy (CELF) optimizer
+(:class:`repro.core.celf.CelfGreedyAll`) cheap: a single full sweep up
+front, then per-placement regional updates and O(1) per-candidate gain
+reads.
+
 Implementations live next to this module:
 
 * :class:`repro.backends.python_backend.PythonBackend` — the exact
@@ -38,6 +50,61 @@ from typing import Hashable, Protocol, runtime_checkable
 from repro.graphs.cgraph import CGraph
 
 Node = Hashable
+
+
+@runtime_checkable
+class GainSession(Protocol):
+    """Incremental marginal-gain state for one graph and a growing ``A``.
+
+    A session owns the sweep state — ``ψ_s(v)`` per source, the absorbing
+    suffix ``W(v)``, and the gains ``I(v | A) = Σ_s max(ψ_s(v) − 1, 0) ·
+    W(v)`` — and keeps it *exact* while filters are added one by one.
+    Placing a filter ``f`` can only change ``ψ`` on descendants of ``f``
+    and ``W`` on ancestors of ``f``, so :meth:`add_filter` updates just
+    that region and reports which nodes' gains actually moved.
+
+    Sessions honour the same exactness contract as the one-shot queries:
+    after any sequence of :meth:`add_filter` calls, :meth:`gains` is
+    bit-identical to ``backend.marginal_gains(graph, A)`` on every
+    backend.
+    """
+
+    #: Name of the backend whose engine computes the deltas.
+    backend_name: str
+
+    @property
+    def filters(self) -> "frozenset[Node]":
+        """The current filter set ``A``."""
+        ...  # pragma: no cover
+
+    @property
+    def nodes_touched(self) -> int:
+        """Cumulative node recomputations performed by incremental updates.
+
+        The honest cost gauge for laziness: a full sweep touches every
+        node once per source; an incremental update touches only the
+        affected region.  Engine-dependent (the vectorized backend
+        touches a column for all sources at once), so compare within one
+        backend, never across.
+        """
+        ...  # pragma: no cover
+
+    def gains(self) -> dict[Node, int]:
+        """All current gains ``I(v | A)``, keyed in ``graph.nodes()`` order."""
+        ...  # pragma: no cover
+
+    def gain(self, node: Node) -> int:
+        """The current exact gain ``I(node | A)`` — an O(1) state read."""
+        ...  # pragma: no cover
+
+    def add_filter(self, node: Node) -> "frozenset[Node]":
+        """Place ``node``, update the affected region, return changed nodes.
+
+        The returned set contains every node whose gain differs from its
+        value before the call (including ``node`` itself, whose gain
+        drops to 0); gains of all other nodes are *provably* unchanged.
+        """
+        ...  # pragma: no cover
 
 
 @runtime_checkable
@@ -81,6 +148,19 @@ class PropagationBackend(Protocol):
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
         """``Greedy_L``'s ``I'(v) = Prefix(v) × dout(v)`` under ``A``."""
+        ...  # pragma: no cover
+
+    def gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> GainSession:
+        """Open an incremental :class:`GainSession` starting from ``A``.
+
+        Construction costs one full sweep (the same work as a single
+        :meth:`marginal_gains` call); every subsequent
+        :meth:`GainSession.add_filter` is regional.
+        """
         ...  # pragma: no cover
 
     def warm(self, graph: CGraph) -> None:

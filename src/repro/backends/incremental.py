@@ -1,0 +1,237 @@
+"""The exact incremental gain engine (big-int, region-local updates).
+
+One-shot ``marginal_gains`` recomputes ``ψ`` (per-source receipts) and
+``W`` (the absorbing suffix) from scratch for every filter set.  The
+greedy loop, however, grows ``A`` one node at a time — and placing a
+filter ``f`` perturbs the sweeps only *locally*:
+
+* ``ψ_s`` can change only on nodes reachable **from** ``f`` (downstream):
+  ``f``'s per-edge emission drops from ``ψ_s(f)`` to ``min(ψ_s(f), 1)``
+  and the deficit propagates along out-edges, dying out wherever receipt
+  counts happen not to move (e.g. behind another filter whose clamped
+  emission is unchanged).
+* ``W`` can change only on nodes that can reach ``f`` (upstream): a
+  parent's term for child ``u`` is ``1 + [u ∉ A]·W(u)``, so marking
+  ``f`` absorbs the ``W(f)`` contribution from each of its parents and
+  the shrinkage propagates along in-edges, again stopping as soon as a
+  recomputed value is unchanged.
+
+:class:`ExactGainSession` maintains ``ψ_s``, ``W``, the per-node surplus
+``Σ_s max(ψ_s(v) − 1, 0)`` and the gains ``I(v | A)`` as plain Python
+big integers, and :meth:`ExactGainSession.add_filter` walks exactly the
+affected region: a worklist ordered by topological index (a heap), so
+every node is finalized after all of its perturbed parents — the same
+guarantee the full sweep gets from whole-order traversal.
+
+This is the ``python`` backend's :class:`~repro.backends.base.GainSession`
+implementation, the semantic reference for the vectorized session in
+:mod:`repro.backends.numpy_backend`, and the fallback the latter uses on
+graphs whose counts could overflow int64.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Collection
+from typing import Hashable
+
+from repro.exceptions import MissingSourceError, ParameterError
+from repro.graphs.cgraph import CGraph
+from repro.graphs.validation import validate_filter_set
+
+Node = Hashable
+
+
+class ExactGainSession:
+    """Arbitrary-precision incremental gains for a growing filter set.
+
+    State per node ``v`` (all exact integers):
+
+    * ``ψ_s(v)`` for every source ``s`` — copies of ``s``'s item received;
+    * ``W(v)`` — downstream receipts created per extra emitted copy;
+    * ``surplus(v) = Σ_s max(ψ_s(v) − 1, 0)``;
+    * ``gain(v) = I(v | A) = surplus(v) · W(v)`` (0 for nodes in ``A``).
+    """
+
+    backend_name = "python"
+
+    def __init__(self, graph: CGraph, filters: Collection[Node] = ()) -> None:
+        from repro.core.impact import absorbing_suffix
+        from repro.propagation.engine import item_receipts
+
+        if not graph.sources:
+            raise MissingSourceError("graph has no sources")
+        filter_set = set(filters)
+        validate_filter_set(graph, filter_set)
+
+        self._graph = graph
+        self._filters: set[Node] = filter_set
+        order = graph.topological_order()
+        self._topo_index = {v: i for i, v in enumerate(order)}
+        self._nodes_touched = 0
+
+        # Full initial sweep: one W pass plus one ψ pass per source — the
+        # same cost as a single marginal_gains evaluation.
+        self._w = absorbing_suffix(graph, filter_set, _order=order)
+        self._psi: dict[Node, dict[Node, int]] = {
+            s: item_receipts(graph, s, filter_set, _order=order)
+            for s in graph.sources
+        }
+        surplus: dict[Node, int] = dict.fromkeys(graph.nodes(), 0)
+        for psi in self._psi.values():
+            for v, count in psi.items():
+                if count > 1:
+                    surplus[v] += count - 1
+        self._surplus = surplus
+        self._gains: dict[Node, int] = {
+            v: 0 if v in filter_set else surplus[v] * self._w[v]
+            for v in graph.nodes()
+        }
+
+    # ------------------------------------------------------------------
+    # GainSession interface
+    # ------------------------------------------------------------------
+
+    @property
+    def filters(self) -> frozenset[Node]:
+        return frozenset(self._filters)
+
+    @property
+    def nodes_touched(self) -> int:
+        return self._nodes_touched
+
+    def gains(self) -> dict[Node, int]:
+        """All current ``I(v | A)``, keyed in ``graph.nodes()`` order."""
+        return dict(self._gains)
+
+    def gain(self, node: Node) -> int:
+        """Current exact ``I(node | A)`` — one dict read."""
+        return self._gains[node]
+
+    def add_filter(self, node: Node) -> frozenset[Node]:
+        """Place ``node``; walk the affected region; return changed nodes."""
+        if node not in self._graph:
+            from repro.exceptions import MissingNodeError
+
+            raise MissingNodeError(node)
+        if node in self._filters:
+            raise ParameterError(f"node {node!r} is already a filter")
+
+        affected: set[Node] = {node}
+
+        # ψ deltas propagate only for items whose emission at ``node``
+        # actually moves: it drops from ψ_s(node) to min(ψ_s(node), 1),
+        # and a source's own emission is pinned at 1 and never changes.
+        seeds = [
+            origin
+            for origin, psi in self._psi.items()
+            if self._emission(origin, node, psi[node], is_filter=False)
+            != self._emission(origin, node, psi[node], is_filter=True)
+        ]
+        self._filters.add(node)
+        for origin in seeds:
+            self._forward_update(origin, node, affected)
+        # W deltas: upstream of ``node``.  Each parent's term for child
+        # ``node`` collapses from 1 + W(node) to 1 — a change only when
+        # W(node) > 0.
+        if self._w[node] > 0:
+            self._backward_update(node, affected)
+
+        for v in affected:
+            self._gains[v] = (
+                0 if v in self._filters else self._surplus[v] * self._w[v]
+            )
+        return frozenset(affected)
+
+    # ------------------------------------------------------------------
+    # Region walks
+    # ------------------------------------------------------------------
+
+    def _emission(
+        self, origin: Node, v: Node, received: int, *, is_filter: bool
+    ) -> int:
+        """Copies ``v`` emits per out-edge for ``origin``'s item."""
+        if v == origin:
+            return 1
+        if is_filter:
+            return 1 if received > 0 else 0
+        return received
+
+    def _forward_update(
+        self, origin: Node, start: Node, affected: set[Node]
+    ) -> None:
+        """Re-settle ``ψ_origin`` downstream of ``start`` (just filtered).
+
+        The worklist heap is ordered by topological index, so a node is
+        recomputed only after every perturbed parent has been finalized —
+        parents always carry smaller indices than their children.
+        """
+        graph = self._graph
+        topo_index = self._topo_index
+        filters = self._filters
+        psi = self._psi[origin]
+        heap: list[tuple[int, Node]] = []
+        queued: set[Node] = set()
+        for child in graph.successors(start):
+            heapq.heappush(heap, (topo_index[child], child))
+            queued.add(child)
+        while heap:
+            _, v = heapq.heappop(heap)
+            self._nodes_touched += 1
+            new_received = 0
+            for p in graph.predecessors(v):
+                new_received += self._emission(
+                    origin, p, psi[p], is_filter=p in filters
+                )
+            old_received = psi[v]
+            if new_received == old_received:
+                continue
+            old_emit = self._emission(
+                origin, v, old_received, is_filter=v in filters
+            )
+            new_emit = self._emission(
+                origin, v, new_received, is_filter=v in filters
+            )
+            psi[v] = new_received
+            self._surplus[v] += max(new_received - 1, 0) - max(
+                old_received - 1, 0
+            )
+            affected.add(v)
+            if old_emit != new_emit:
+                for child in graph.successors(v):
+                    if child not in queued:
+                        heapq.heappush(heap, (topo_index[child], child))
+                        queued.add(child)
+
+    def _backward_update(self, start: Node, affected: set[Node]) -> None:
+        """Re-settle ``W`` upstream of ``start`` (already in ``A``).
+
+        Mirror image of the forward walk: reverse topological order via a
+        max-heap on the topological index, so a node is recomputed after
+        all of its perturbed children.
+        """
+        graph = self._graph
+        topo_index = self._topo_index
+        filters = self._filters
+        w = self._w
+        heap: list[tuple[int, Node]] = []
+        queued: set[Node] = set()
+        for parent in graph.predecessors(start):
+            heapq.heappush(heap, (-topo_index[parent], parent))
+            queued.add(parent)
+        while heap:
+            _, v = heapq.heappop(heap)
+            self._nodes_touched += 1
+            new_w = 0
+            for u in graph.successors(v):
+                new_w += 1
+                if u not in filters:
+                    new_w += w[u]
+            if new_w == w[v]:
+                continue
+            w[v] = new_w
+            affected.add(v)
+            for parent in graph.predecessors(v):
+                if parent not in queued:
+                    heapq.heappush(heap, (-topo_index[parent], parent))
+                    queued.add(parent)

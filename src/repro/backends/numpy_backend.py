@@ -112,6 +112,19 @@ class _Plan:
     sources: tuple[Node, ...]
     levels: list[_Level] = field(default_factory=list)
     out_degree: Any = None  # int64[n]
+    #: Level (longest path from any root) per node; intp[n].
+    depth: Any = None
+    num_levels: int = 0
+    #: Global out-CSR (natural insertion order) — successors of node v sit
+    #: at ``out_dst[out_offsets[v]:out_offsets[v+1]]``.
+    out_offsets: Any = None  # intp[n+1]
+    out_dst: Any = None  # intp[m]
+    #: Global in-CSR — predecessors of node v sit at
+    #: ``in_src[in_offsets[v]:in_offsets[v+1]]``.
+    in_offsets: Any = None  # intp[n+1]
+    in_src: Any = None  # intp[m]
+    #: ψ-matrix row of the source whose column this is, −1 elsewhere.
+    col_to_row: Any = None  # intp[n]
     #: max over v of (Σ_s ψ_∅(v)) · W_∅(v) — bounds every gain/score.
     prod_bound: float = 0.0
     #: max over v of Σ_s ψ_∅(v) — bounds every per-node receipt total.
@@ -200,11 +213,20 @@ class NumpyBackend:
         offsets = np.concatenate(
             ([0], np.cumsum(counts))
         ).astype(np.intp)
+        plan.out_offsets = offsets
+        plan.out_dst = dst
+        # Global in-CSR (edges grouped by destination) — the incremental
+        # gain session recomputes a node's receipts from all its parents.
+        in_counts = np.bincount(dst, minlength=n)
+        plan.in_offsets = np.concatenate(
+            ([0], np.cumsum(in_counts))
+        ).astype(np.intp)
+        plan.in_src = src[np.argsort(dst, kind="stable")]
 
         # Kahn-by-wavefronts: each round's ready set is exactly the nodes
         # whose longest path from any root has the round's length, so this
         # levelizes and cycle-checks in one pass of vectorized rounds.
-        indeg = np.bincount(dst, minlength=n)
+        indeg = in_counts.copy()
         depth = np.zeros(n, dtype=np.intp)
         frontier = np.flatnonzero(indeg == 0)
         processed = 0
@@ -225,6 +247,8 @@ class NumpyBackend:
             raise CyclicGraphError("graph contains a directed cycle")
 
         num_levels = int(depth.max()) + 1 if n else 0
+        plan.depth = depth
+        plan.num_levels = num_levels
         nodes_by_level = np.argsort(depth, kind="stable")
         level_starts = np.searchsorted(
             depth[nodes_by_level], np.arange(num_levels + 1)
@@ -239,6 +263,10 @@ class NumpyBackend:
             edge_level[edges_by_level], np.arange(num_levels + 1)
         )
         source_idx = [index[s] for s in sources]
+        col_to_row = np.full(n, -1, dtype=np.intp)
+        for row, si in enumerate(source_idx):
+            col_to_row[si] = row
+        plan.col_to_row = col_to_row
 
         def group_starts(sorted_keys: Any) -> Any:
             """Segment starts of equal-key runs in an already-sorted array."""
@@ -383,6 +411,27 @@ class NumpyBackend:
     # PropagationBackend interface
     # ------------------------------------------------------------------
 
+    def gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ):
+        """Open an incremental :class:`GainSession` (vectorized).
+
+        Construction runs one batched ``ψ``/``W`` sweep; each subsequent
+        ``add_filter`` re-settles only the dirty columns level by level.
+        Graphs whose counts could overflow int64 transparently get the
+        exact big-int session instead — same results, slower deltas.
+        """
+        if not graph.sources:
+            raise MissingSourceError("graph has no sources")
+        filter_set = set(filters)
+        validate_filter_set(graph, filter_set)
+        plan = self.plan_for(graph)
+        if plan.exact_only:
+            return self._exact.gain_session(graph, filter_set)
+        return NumpyGainSession(self, graph, plan, filter_set)
+
     def node_receipts(
         self,
         graph: CGraph,
@@ -390,6 +439,11 @@ class NumpyBackend:
         *,
         items_per_source: int | Mapping[Node, int] = 1,
     ) -> dict[Node, int]:
+        """Receipts per node (``Σ_s ψ_s(v)``, weighted) — batched int64.
+
+        Falls back to the exact backend when the plan's overflow probe
+        (or the supplied weights) puts any value near ``2**63``.
+        """
         if not graph.sources:
             raise MissingSourceError("graph has no sources")
         validate_filter_set(graph, set(filters))
@@ -423,6 +477,7 @@ class NumpyBackend:
         *,
         items_per_source: int | Mapping[Node, int] = 1,
     ) -> int:
+        """``Φ(A, V)``: total received copies (summed as Python ints)."""
         return sum(
             self.node_receipts(
                 graph, filters, items_per_source=items_per_source
@@ -434,6 +489,7 @@ class NumpyBackend:
         graph: CGraph,
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
+        """``I(v | A) = (Σ_s max(ψ_s(v) − 1, 0)) · W(v)``, vectorized."""
         if not graph.sources:
             raise MissingSourceError("graph has no sources")
         filter_set = set(filters)
@@ -456,6 +512,7 @@ class NumpyBackend:
         graph: CGraph,
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
+        """``Greedy_L``'s ``I'(v) = (Σ_s ψ_s(v)) · dout(v)``, vectorized."""
         filter_set = set(filters)
         validate_filter_set(graph, filter_set)
         plan = self.plan_for(graph)
@@ -466,4 +523,222 @@ class NumpyBackend:
         return dict(zip(plan.node_list, scores.tolist()))
 
     def warm(self, graph: CGraph) -> None:
+        """Build (and cache) the levelization plan outside timed regions."""
         self.plan_for(graph)
+
+
+class NumpyGainSession:
+    """Vectorized incremental gains: dirty-column waves over the levels.
+
+    State (all int64, safe because the plan's ``A = ∅`` overflow probe
+    bounds every value any filter set can produce — filters only shrink
+    ``ψ`` and ``W``):
+
+    * ``ψ`` — ``(num_sources, n)`` receipts matrix;
+    * ``emit`` — the matching per-edge emission matrix (``ψ`` clamped to
+      one on filter columns with receipts, pinned to one on each source's
+      own column), kept in sync so a node's receipts can be re-derived
+      from its parents alone;
+    * ``W`` — the absorbing suffix vector;
+    * ``surplus`` — ``Σ_s max(ψ_s(v) − 1, 0)`` per column;
+    * ``gains`` — ``surplus · W``, zeroed on filter columns.
+
+    :meth:`add_filter` runs two restricted wavefronts.  Forward: starting
+    from the new filter's successors, each level's dirty columns get
+    their receipts re-gathered from the global in-CSR; columns whose
+    ``ψ`` moved update ``surplus``/``emit``, and emission changes dirty
+    their successors.  Backward: the mirror image over the out-CSR for
+    ``W``, walking levels in reverse from the filter's predecessors.
+    Waves die out exactly where the full sweep would produce unchanged
+    numbers, so results stay bit-identical to
+    :meth:`NumpyBackend.marginal_gains` (and to the exact session).
+    """
+
+    backend_name = "numpy"
+
+    def __init__(
+        self,
+        backend: NumpyBackend,
+        graph: CGraph,
+        plan: _Plan,
+        filters: set[Node],
+    ) -> None:
+        np = backend._np
+        self._np = np
+        self._backend = backend
+        self._plan = plan
+        self._nodes_touched = 0
+
+        mask = backend._filter_mask(plan, filters)
+        psi = backend._psi_matrix(plan, mask)
+        w = backend._suffix_vector(plan, mask)
+        emit = np.where(mask[None, :], (psi > 0).astype(np.int64), psi)
+        rows = np.flatnonzero(plan.col_to_row >= 0)
+        emit[plan.col_to_row[rows], rows] = 1
+        surplus = np.maximum(psi - 1, 0).sum(axis=0)
+        gains = surplus * w
+        gains[mask] = 0
+
+        self._mask = mask
+        self._psi = psi
+        self._emit = emit
+        self._w = w
+        self._surplus = surplus
+        self._gains = gains
+
+    # ------------------------------------------------------------------
+    # GainSession interface
+    # ------------------------------------------------------------------
+
+    @property
+    def filters(self) -> frozenset[Node]:
+        np = self._np
+        nodes = self._plan.node_list
+        return frozenset(nodes[j] for j in np.flatnonzero(self._mask).tolist())
+
+    @property
+    def nodes_touched(self) -> int:
+        return self._nodes_touched
+
+    def gains(self) -> dict[Node, int]:
+        """All current ``I(v | A)``, keyed in ``graph.nodes()`` order."""
+        return dict(zip(self._plan.node_list, self._gains.tolist()))
+
+    def gain(self, node: Node) -> int:
+        """Current exact ``I(node | A)`` — one array read."""
+        return int(self._gains[self._plan.index[node]])
+
+    def add_filter(self, node: Node) -> frozenset[Node]:
+        """Place ``node``; re-settle dirty columns; return changed nodes."""
+        np = self._np
+        plan = self._plan
+        try:
+            i = plan.index[node]
+        except KeyError:
+            from repro.exceptions import MissingNodeError
+
+            raise MissingNodeError(node) from None
+        if self._mask[i]:
+            from repro.exceptions import ParameterError
+
+            raise ParameterError(f"node {node!r} is already a filter")
+
+        mask, psi, emit, w = self._mask, self._psi, self._emit, self._w
+        mask[i] = True
+        affected = np.zeros(plan.n, dtype=bool)
+        affected[i] = True
+
+        # Emission at the new filter drops from ψ to min(ψ, 1) per row
+        # (the row whose source *is* this column stays pinned at one).
+        old_emit_col = emit[:, i].copy()
+        new_emit_col = (psi[:, i] > 0).astype(np.int64)
+        row = plan.col_to_row[i]
+        if row >= 0:
+            new_emit_col[row] = 1
+        emit[:, i] = new_emit_col
+
+        dirty = np.zeros(plan.n, dtype=bool)
+        if (new_emit_col != old_emit_col).any():
+            dirty[self._successors_of(np.array([i], dtype=np.intp))] = True
+        self._forward_wave(i, dirty, affected)
+
+        dirty = np.zeros(plan.n, dtype=bool)
+        if w[i] > 0:
+            # Each predecessor's term for this child collapses from
+            # 1 + W to 1.
+            dirty[self._predecessors_of(np.array([i], dtype=np.intp))] = True
+        self._backward_wave(i, dirty, affected)
+
+        idx = np.flatnonzero(affected)
+        new_gains = self._surplus[idx] * w[idx]
+        new_gains[mask[idx]] = 0
+        self._gains[idx] = new_gains
+        return frozenset(plan.node_list[j] for j in idx.tolist())
+
+    # ------------------------------------------------------------------
+    # Wavefronts
+    # ------------------------------------------------------------------
+
+    def _successors_of(self, cols: Any) -> Any:
+        plan = self._plan
+        counts = plan.out_offsets[cols + 1] - plan.out_offsets[cols]
+        pos = self._backend._multi_arange(plan.out_offsets[cols], counts)
+        return plan.out_dst[pos]
+
+    def _predecessors_of(self, cols: Any) -> Any:
+        plan = self._plan
+        counts = plan.in_offsets[cols + 1] - plan.in_offsets[cols]
+        pos = self._backend._multi_arange(plan.in_offsets[cols], counts)
+        return plan.in_src[pos]
+
+    def _forward_wave(self, start: int, dirty: Any, affected: Any) -> None:
+        """Re-settle ψ columns level by level below the new filter."""
+        np = self._np
+        plan = self._plan
+        mask, psi, emit = self._mask, self._psi, self._emit
+        for lvl in range(int(plan.depth[start]) + 1, plan.num_levels):
+            lvl_nodes = plan.levels[lvl].nodes
+            sel = dirty[lvl_nodes]
+            if not sel.any():
+                continue
+            cols = lvl_nodes[sel]
+            dirty[cols] = False
+            self._nodes_touched += int(cols.size)
+            # Dirty columns are successors of something, so every in-CSR
+            # segment below is non-empty — reduceat-safe.
+            in_counts = plan.in_offsets[cols + 1] - plan.in_offsets[cols]
+            parents = self._predecessors_of(cols)
+            seg_starts = np.concatenate(
+                ([0], np.cumsum(in_counts)[:-1])
+            ).astype(np.intp)
+            new_block = np.add.reduceat(emit[:, parents], seg_starts, axis=1)
+            changed = (new_block != psi[:, cols]).any(axis=0)
+            if not changed.any():
+                continue
+            ccols = cols[changed]
+            psi[:, ccols] = new_block[:, changed]
+            block = psi[:, ccols]
+            self._surplus[ccols] = np.maximum(block - 1, 0).sum(axis=0)
+            affected[ccols] = True
+            new_emit = np.where(
+                mask[ccols][None, :], (block > 0).astype(np.int64), block
+            )
+            rows = plan.col_to_row[ccols]
+            pinned = rows >= 0
+            if pinned.any():
+                new_emit[rows[pinned], np.flatnonzero(pinned)] = 1
+            emit_changed = (new_emit != emit[:, ccols]).any(axis=0)
+            emit[:, ccols] = new_emit
+            ecols = ccols[emit_changed]
+            if ecols.size:
+                dirty[self._successors_of(ecols)] = True
+
+    def _backward_wave(self, start: int, dirty: Any, affected: Any) -> None:
+        """Re-settle W columns level by level above the new filter."""
+        np = self._np
+        plan = self._plan
+        mask, w = self._mask, self._w
+        for lvl in range(int(plan.depth[start]) - 1, -1, -1):
+            lvl_nodes = plan.levels[lvl].nodes
+            sel = dirty[lvl_nodes]
+            if not sel.any():
+                continue
+            cols = lvl_nodes[sel]
+            dirty[cols] = False
+            self._nodes_touched += int(cols.size)
+            # Dirty columns are predecessors of something, so every
+            # out-CSR segment below is non-empty — reduceat-safe.
+            out_counts = plan.out_offsets[cols + 1] - plan.out_offsets[cols]
+            children = self._successors_of(cols)
+            contrib = 1 + np.where(mask[children], 0, w[children])
+            seg_starts = np.concatenate(
+                ([0], np.cumsum(out_counts)[:-1])
+            ).astype(np.intp)
+            new_w = np.add.reduceat(contrib, seg_starts)
+            changed = new_w != w[cols]
+            if not changed.any():
+                continue
+            ccols = cols[changed]
+            w[ccols] = new_w[changed]
+            affected[ccols] = True
+            dirty[self._predecessors_of(ccols)] = True

@@ -39,6 +39,7 @@ class PythonBackend:
         *,
         items_per_source: int | Mapping[Node, int] = 1,
     ) -> dict[Node, int]:
+        """Receipts per node (``Σ_s ψ_s(v)``, weighted) — exact big ints."""
         from repro.propagation.engine import node_receipts_exact
 
         validate_filter_set(graph, set(filters))
@@ -53,6 +54,7 @@ class PythonBackend:
         *,
         items_per_source: int | Mapping[Node, int] = 1,
     ) -> int:
+        """``Φ(A, V)``: total received copies, summed exactly."""
         return sum(
             self.node_receipts(
                 graph, filters, items_per_source=items_per_source
@@ -64,6 +66,7 @@ class PythonBackend:
         graph: CGraph,
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
+        """``I(v | A) = max(ψ(v) − 1, 0) · W(v)`` summed over sources."""
         from repro.core.impact import marginal_gains_exact
 
         return marginal_gains_exact(graph, filters)
@@ -73,13 +76,31 @@ class PythonBackend:
         graph: CGraph,
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
+        """``Greedy_L``'s ``I'(v) = Prefix(v) × dout(v)`` under ``A``."""
         from repro.core.greedy_l import simplified_impacts_exact
 
         filter_set = set(filters)
         validate_filter_set(graph, filter_set)
         return simplified_impacts_exact(graph, filter_set)
 
+    def gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ):
+        """Open an exact incremental :class:`GainSession`.
+
+        Construction runs one full sweep (``W`` plus ``ψ`` per source);
+        each subsequent ``add_filter`` re-settles only the affected DAG
+        region with big-int arithmetic.
+        """
+        from repro.backends.incremental import ExactGainSession
+
+        return ExactGainSession(graph, filters)
+
     def warm(self, graph: CGraph) -> None:
-        # The exact sweeps' only per-graph preprocessing is the (graph-
-        # cached) topological order.
+        """Precompute the graph-cached topological order.
+
+        The exact sweeps' only per-graph preprocessing.
+        """
         graph.topological_order()

@@ -139,6 +139,50 @@ def format_comparison(report: ComparisonReport) -> str:
     return "\n".join(lines)
 
 
+def lazy_savings(
+    records_or_rows: Sequence[Any],
+    *,
+    eager: str = "G_All",
+    lazy: str = "G_All_lazy",
+) -> dict[str, float]:
+    """Per-cell sweep-count ratio eager / lazy (higher = laziness paying).
+
+    Matches cells that differ only in the algorithm axis and divides
+    their full-graph *propagation evaluation* counts
+    (:func:`repro.bench.instrument.sweep_count` — incremental session
+    operations are deliberately excluded; they are the cheap currency the
+    lazy strategy pays instead).  The acceptance bar for the ``lazy``
+    suite is a ratio ≥ 5 on every cell at ``k ≥ 10``.
+
+    Accepts :class:`~repro.bench.results.BenchRecord` objects or raw
+    ``results`` rows; returns ``{lazy-cell-key: ratio}``.
+    """
+    from repro.bench.instrument import sweep_count
+
+    rows = [
+        r.to_json_dict() if hasattr(r, "to_json_dict") else r
+        for r in records_or_rows
+    ]
+    sweeps = {
+        row["key"]: sweep_count(row.get("evaluations", {})) for row in rows
+    }
+    ratios: dict[str, float] = {}
+    for row in rows:
+        if row["algorithm"] != lazy:
+            continue
+        key = row["key"]
+        eager_key = key.replace(f"/{lazy}/", f"/{eager}/")
+        if eager_key not in sweeps or eager_key == key:
+            continue
+        lazy_sweeps = sweeps[key]
+        ratios[key] = (
+            float("inf")
+            if lazy_sweeps == 0
+            else sweeps[eager_key] / lazy_sweeps
+        )
+    return ratios
+
+
 def summarize_speedups(
     records_or_rows: Sequence[Any],
     *,

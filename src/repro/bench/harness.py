@@ -140,12 +140,19 @@ def run_suite(
 
 
 def render_records(records: Sequence[BenchRecord]) -> str:
-    """The records as an aligned text table (CLI output)."""
+    """The records as an aligned text table (CLI output).
+
+    ``sweeps`` counts full-graph propagation evaluations, ``inc`` the
+    incremental session operations (regional updates + O(1) refreshes) —
+    the split ``docs/benchmarks.md`` explains.  Lazy ``Greedy_All`` shows
+    one sweep and a handful of ``inc``; eager shows ``k`` sweeps.
+    """
     from repro.analysis.report import format_table
+    from repro.bench.instrument import incremental_count, sweep_count
 
     headers = [
         "dataset", "alg", "k", "backend", "nodes", "edges",
-        "ms", "evals", "FR",
+        "ms", "sweeps", "inc", "FR",
     ]
     rows = []
     for r in records:
@@ -158,7 +165,8 @@ def render_records(records: Sequence[BenchRecord]) -> str:
             str(r.nodes),
             str(r.edges),
             f"{r.seconds * 1e3:.1f}",
-            str(sum(r.evaluations.values())),
+            str(sweep_count(r.evaluations)),
+            str(incremental_count(r.evaluations)),
             f"{r.filter_ratio:.4f}",
         ])
     return format_table(headers, rows)

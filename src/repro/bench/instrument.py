@@ -6,8 +6,25 @@ same on a stopwatch.  :class:`CountingBackend` wraps any propagation
 backend, forwards every call unchanged, and tallies how many of each
 evaluation the algorithm requested.  The bench harness installs it as the
 default backend for the timed region and reports the counters next to the
-seconds, so e.g. the ablation suite can show ``G_All_lazy`` issuing fewer
-``marginal_gains`` sweeps than ``G_All`` on the same cell.
+seconds, so the ``lazy`` suite can show CELF issuing one full sweep where
+eager ``Greedy_All`` issues ``k``.
+
+Two cost classes are counted, and the distinction is what the lazy-greedy
+numbers hinge on:
+
+* **Full-graph sweeps** (:data:`SWEEP_KINDS`) — every one-shot query
+  (``node_receipts``, ``total_receipts``, ``marginal_gains``,
+  ``simplified_impacts``) plus ``session_init``, the full ψ/W pass a
+  :class:`~repro.backends.base.GainSession` runs at construction.  Each
+  touches the whole graph once per source.  :func:`sweep_count` sums
+  these; "propagation evaluations" in the acceptance criteria and in
+  ``docs/benchmarks.md`` means exactly this sum.
+* **Incremental session operations** (:data:`INCREMENTAL_KINDS`) —
+  ``session_update`` (one regional re-settle per placed filter) and
+  ``session_refresh`` (one O(1) stale-gain read per lazy re-evaluation).
+  Strictly cheaper than a sweep; :func:`incremental_count` sums them and
+  the bench table reports them in their own column so the two cost
+  classes are never conflated.
 """
 
 from __future__ import annotations
@@ -20,13 +37,33 @@ from repro.graphs.cgraph import CGraph
 
 Node = Hashable
 
-#: Counter keys, one per protocol method.
-EVALUATION_KINDS: tuple[str, ...] = (
+#: Full-graph sweep counters: one increment = one whole-graph pass.
+SWEEP_KINDS: tuple[str, ...] = (
     "node_receipts",
     "total_receipts",
     "marginal_gains",
     "simplified_impacts",
+    "session_init",
 )
+
+#: Incremental session counters: regional updates and O(1) gain reads.
+INCREMENTAL_KINDS: tuple[str, ...] = (
+    "session_update",
+    "session_refresh",
+)
+
+#: Counter keys, one per protocol method / session operation.
+EVALUATION_KINDS: tuple[str, ...] = SWEEP_KINDS + INCREMENTAL_KINDS
+
+
+def sweep_count(counts: Mapping[str, int]) -> int:
+    """Full-graph propagation sweeps in an evaluation-counter mapping."""
+    return sum(counts.get(kind, 0) for kind in SWEEP_KINDS)
+
+
+def incremental_count(counts: Mapping[str, int]) -> int:
+    """Incremental session operations in an evaluation-counter mapping."""
+    return sum(counts.get(kind, 0) for kind in INCREMENTAL_KINDS)
 
 
 class CountingBackend:
@@ -45,6 +82,14 @@ class CountingBackend:
         """All evaluations of any kind, summed."""
         return sum(self.counts.values())
 
+    def sweep_evaluations(self) -> int:
+        """Full-graph sweeps only — the lazy-vs-eager headline number."""
+        return sweep_count(self.counts)
+
+    def incremental_evaluations(self) -> int:
+        """Incremental session operations only."""
+        return incremental_count(self.counts)
+
     # -- PropagationBackend ------------------------------------------------
 
     def node_receipts(
@@ -54,6 +99,7 @@ class CountingBackend:
         *,
         items_per_source: int | Mapping[Node, int] = 1,
     ) -> dict[Node, int]:
+        """Forward ``node_receipts`` (``Σ_s ψ_s``), counting one sweep."""
         self.counts["node_receipts"] += 1
         return self.inner.node_receipts(
             graph, filters, items_per_source=items_per_source
@@ -66,6 +112,7 @@ class CountingBackend:
         *,
         items_per_source: int | Mapping[Node, int] = 1,
     ) -> int:
+        """Forward ``total_receipts`` (``Φ(A, V)``), counting one sweep."""
         self.counts["total_receipts"] += 1
         return self.inner.total_receipts(
             graph, filters, items_per_source=items_per_source
@@ -76,6 +123,7 @@ class CountingBackend:
         graph: CGraph,
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
+        """Forward ``marginal_gains`` (``I(v | A)``), counting one sweep."""
         self.counts["marginal_gains"] += 1
         return self.inner.marginal_gains(graph, filters)
 
@@ -84,9 +132,59 @@ class CountingBackend:
         graph: CGraph,
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
+        """Forward ``simplified_impacts`` (``I'(v)``), counting one sweep."""
         self.counts["simplified_impacts"] += 1
         return self.inner.simplified_impacts(graph, filters)
 
+    def gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> "CountingGainSession":
+        """Open a counted incremental session (``session_init`` sweep)."""
+        # Construction runs the session's one full ψ/W sweep.
+        self.counts["session_init"] += 1
+        return CountingGainSession(
+            self.inner.gain_session(graph, filters), self.counts
+        )
+
     def warm(self, graph: CGraph) -> None:
-        # Preprocessing, not an evaluation: forwarded but never counted.
+        """Forward warm-up uncounted — preprocessing, not an evaluation."""
         self.inner.warm(graph)
+
+
+class CountingGainSession:
+    """A pass-through :class:`~repro.backends.base.GainSession` that counts.
+
+    Shares its counter dict with the :class:`CountingBackend` that opened
+    it, so a whole placement run lands in one ledger.
+    """
+
+    def __init__(self, inner, counts: dict[str, int]) -> None:
+        self.inner = inner
+        self.backend_name = inner.backend_name
+        self.counts = counts
+
+    @property
+    def filters(self):
+        return self.inner.filters
+
+    @property
+    def nodes_touched(self) -> int:
+        return self.inner.nodes_touched
+
+    def gains(self):
+        """All current ``I(v | A)`` from the wrapped session, uncounted."""
+        # Reading the maintained state back is a copy, not a sweep: the
+        # propagation work was already charged to session_init/update.
+        return self.inner.gains()
+
+    def gain(self, node):
+        """One lazy gain read, counted as ``session_refresh``."""
+        self.counts["session_refresh"] += 1
+        return self.inner.gain(node)
+
+    def add_filter(self, node):
+        """One regional re-settle, counted as ``session_update``."""
+        self.counts["session_update"] += 1
+        return self.inner.add_filter(node)

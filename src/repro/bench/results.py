@@ -55,6 +55,7 @@ class BenchRecord:
     filter_ratio: float = 0.0
 
     def to_json_dict(self) -> dict[str, Any]:
+        """The record as one ``results[]`` row of the BENCH.json schema."""
         doc = asdict(self)
         scenario = doc.pop("scenario")
         doc["filters"] = list(self.filters)

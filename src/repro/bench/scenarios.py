@@ -9,15 +9,23 @@ Built-in suites
 ---------------
 ``toy``
     Seconds-long smoke matrix over the paper's figure graphs — what CI
-    runs to keep the perf plumbing honest.
+    runs to keep the perf plumbing honest.  Includes ``G_All_lazy`` so
+    the CI smoke can assert the lazy strategy's sweep count stays
+    strictly below the eager one.
 ``default``
-    The trajectory matrix: the paper-scale datasets × the four greedy
-    algorithms × both backends.  ``BENCH.json`` files written from this
-    suite are comparable across PRs.
+    The trajectory matrix: the paper-scale datasets × the greedy family
+    (eager and lazy ``Greedy_All`` included) × both backends.
+    ``BENCH.json`` files written from this suite are comparable across
+    PRs.
 ``ablation``
-    Eager vs lazy ``Greedy_All`` across backends — the engine ablation
-    promised by :mod:`repro.core.greedy_all` (laziness only pays once a
-    cheap evaluation engine exists; this matrix shows exactly that).
+    Eager vs lazy ``Greedy_All`` across backends — the engine ablation:
+    the gap between the two is a direct read on how much of ``G_All``'s
+    cost the incremental gain engine eliminates per backend.
+``lazy``
+    The lazy-strategy axis at trajectory scale: eager vs CELF on the
+    default datasets at ``k ≥ 10``, where the acceptance bar is ≥5×
+    fewer full propagation sweeps for the lazy cells
+    (:func:`repro.bench.compare.lazy_savings`).
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ class BenchScenario:
     seed: int = 0
 
     def key(self) -> str:
+        """``dataset@scale/seedN/algorithm/kK/backend`` — the cell id."""
         scale = "default" if self.scale is None else f"{self.scale:g}"
         return (
             f"{self.dataset}@{scale}/seed{self.seed}"
@@ -85,7 +94,7 @@ def toy_suite(
     backends = _resolve_backends(backends)
     return _cross(
         [("fig1", None), ("fig10", None)],
-        ("G_All", "G_Max", "G_1", "G_L"),
+        ("G_All", "G_All_lazy", "G_Max", "G_1", "G_L"),
         3,
         backends,
         seed,
@@ -104,7 +113,8 @@ def default_suite(
         ("citation", 1.0),
     ]
     return _cross(
-        cells, ("G_All", "G_Max", "G_1", "G_L"), 10, backends, seed
+        cells, ("G_All", "G_All_lazy", "G_Max", "G_1", "G_L"), 10,
+        backends, seed
     )
 
 
@@ -113,10 +123,11 @@ def ablation_suite(
 ) -> list[BenchScenario]:
     """Eager vs lazy ``Greedy_All`` across propagation backends.
 
-    The comparison :class:`repro.core.greedy_all.LazyGreedyAll` documents:
-    with a linear-sweep engine the lazy variant cannot win asymptotically,
-    but the cheaper each sweep gets, the closer the two run — so the gap
-    is itself a measure of engine cost.
+    With the incremental gain engine behind
+    :class:`repro.core.celf.CelfGreedyAll`, the lazy variant replaces all
+    but one of the eager run's full sweeps with regional updates — the
+    wall-clock gap per backend measures how much of ``G_All``'s cost was
+    sweep work that laziness can skip.
     """
     backends = _resolve_backends(backends)
     return _cross(
@@ -128,10 +139,31 @@ def ablation_suite(
     )
 
 
+def lazy_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The lazy-strategy axis: eager vs CELF at trajectory scale.
+
+    Same datasets as the ``default`` suite, restricted to the two
+    ``Greedy_All`` executions at ``k = 10`` — the matrix behind the
+    "≥5× fewer propagation evaluations at k ≥ 10" acceptance bar, which
+    :func:`repro.bench.compare.lazy_savings` checks on the records.
+    """
+    backends = _resolve_backends(backends)
+    cells: list[tuple[str, float | None]] = [
+        ("synthetic-sparse", 2.0),
+        ("synthetic-dense", 1.0),
+        ("quote", 1.0),
+        ("citation", 1.0),
+    ]
+    return _cross(cells, ("G_All", "G_All_lazy"), 10, backends, seed)
+
+
 _SUITES = {
     "toy": toy_suite,
     "default": default_suite,
     "ablation": ablation_suite,
+    "lazy": lazy_suite,
 }
 
 #: Every built-in suite name, in presentation order.

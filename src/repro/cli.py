@@ -20,6 +20,12 @@ Subcommands
 (``auto``, the default, uses NumPy when available); every backend returns
 identical results.
 
+``--strategy {exact,lazy}`` (on ``place`` and ``experiment``) selects the
+execution strategy: ``exact`` runs the direct implementations, ``lazy``
+runs lazy-capable algorithms (the ``Greedy_All`` family) as CELF on the
+incremental gain engine — identical selections and objective values, one
+full propagation sweep instead of one per placement.
+
 Examples
 --------
 ::
@@ -27,10 +33,12 @@ Examples
     filter-placement place --dataset quote --algorithm G_All -k 4
     filter-placement place --edges my_graph.txt --algorithm G_Max -k 10
     filter-placement place --dataset citation -k 10 --backend numpy
+    filter-placement place --dataset citation -k 10 --strategy lazy
     filter-placement stats --dataset citation --scale 0.1
     filter-placement experiment fig7 --fast
     filter-placement generate --dataset twitter --scale 0.05 -o twitter.txt
     filter-placement bench --suite toy --out BENCH.json
+    filter-placement bench --suite lazy --out BENCH.lazy.json
     filter-placement bench --suite default --compare BENCH.prior.json
 """
 
@@ -45,7 +53,11 @@ from repro.analysis.metrics import describe
 from repro.analysis.report import format_stats_table, format_table
 from repro.backends.registry import BACKEND_NAMES, use_backend
 from repro.core.objective import filter_ratio, max_objective, phi
-from repro.core.registry import ALGORITHM_NAMES, get_algorithm
+from repro.core.registry import (
+    ALGORITHM_NAMES,
+    STRATEGY_NAMES,
+    get_algorithm,
+)
 from repro.datasets.loaders import load_real_dataset
 from repro.datasets.registry import DATASET_NAMES, get_dataset
 from repro.exceptions import ReproError
@@ -88,6 +100,17 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_strategy_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGY_NAMES,
+        default="exact",
+        help="execution strategy: exact = direct implementations, "
+        "lazy = CELF with incremental impact updates (same results, "
+        "fewer propagation sweeps; default: exact)",
+    )
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
     # Scoped, not set_default_backend: main() is also a library entry
     # point and must not leak a changed process default to its caller.
@@ -97,7 +120,7 @@ def _cmd_place(args: argparse.Namespace) -> int:
 
 def _run_place(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    algorithm = get_algorithm(args.algorithm)
+    algorithm = get_algorithm(args.algorithm, strategy=args.strategy)
     result = algorithm.place(graph, args.k)
     phi_empty = phi(graph, ())
     f_max = max_objective(graph, phi_empty=phi_empty)
@@ -144,6 +167,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         forwarded.extend(["--scale", str(args.scale)])
     forwarded.extend(["--seed", str(args.seed)])
     forwarded.extend(["--backend", args.backend])
+    forwarded.extend(["--strategy", args.strategy])
     return runner_main(forwarded)
 
 
@@ -277,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     place.add_argument("-k", type=int, required=True, help="filter budget")
     _add_backend_argument(place)
+    _add_strategy_argument(place)
     place.set_defaults(func=_cmd_place)
 
     stats = sub.add_parser("stats", help="dataset structural summary")
@@ -294,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--scale", type=float, default=None)
     _add_backend_argument(experiment)
+    _add_strategy_argument(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     from repro.bench.scenarios import SUITE_NAMES

@@ -30,6 +30,7 @@ from repro.core.impact import (
     marginal_gains,
 )
 from repro.core.plist import PlistTables, compute_plists, plist_impacts
+from repro.core.celf import CelfGreedyAll, lazy_greedy_all
 from repro.core.greedy_all import GreedyAll, LazyGreedyAll, greedy_all
 from repro.core.greedy_max import GreedyMax, greedy_max
 from repro.core.greedy_one import GreedyOne, greedy_one
@@ -44,8 +45,13 @@ from repro.core.exhaustive import ExhaustiveSearch, optimal_placement
 from repro.core.betweenness import BetweennessPlacement
 from repro.core.registry import (
     ALGORITHM_NAMES,
+    LAZY_CAPABLE_NAMES,
     PAPER_ALGORITHM_NAMES,
+    STRATEGY_NAMES,
     get_algorithm,
+    get_default_strategy,
+    set_default_strategy,
+    use_strategy,
 )
 
 __all__ = [
@@ -65,7 +71,9 @@ __all__ = [
     "plist_impacts",
     "GreedyAll",
     "LazyGreedyAll",
+    "CelfGreedyAll",
     "greedy_all",
+    "lazy_greedy_all",
     "GreedyMax",
     "greedy_max",
     "GreedyOne",
@@ -81,6 +89,11 @@ __all__ = [
     "optimal_placement",
     "BetweennessPlacement",
     "get_algorithm",
+    "get_default_strategy",
+    "set_default_strategy",
+    "use_strategy",
     "ALGORITHM_NAMES",
+    "LAZY_CAPABLE_NAMES",
     "PAPER_ALGORITHM_NAMES",
+    "STRATEGY_NAMES",
 ]

@@ -29,10 +29,23 @@ class PlacementStep:
         The algorithm's own score for the pick.  For ``Greedy_All`` this is
         the true marginal gain ``F(A ∪ {v}) − F(A)``; for the heuristics it
         is their surrogate score (``m(v)``, initial impact, ``I'(v)``).
+    evaluations:
+        Propagation work the algorithm performed to make this pick, as
+        sorted ``(kind, count)`` pairs whose kinds match
+        :data:`repro.bench.instrument.EVALUATION_KINDS` (e.g. one
+        ``marginal_gains`` sweep per eager ``Greedy_All`` step; a
+        ``session_update`` plus some ``session_refresh`` reads per lazy
+        step).  Empty for algorithms that score without propagation.
+        Deterministic, so results stay comparable across backends.
     """
 
     node: Node
     gain: int
+    evaluations: tuple[tuple[str, int], ...] = ()
+
+    def evaluation_counts(self) -> dict[str, int]:
+        """The per-step evaluations as a plain dict."""
+        return dict(self.evaluations)
 
 
 @dataclass(frozen=True)
@@ -65,6 +78,7 @@ class PlacementResult:
     prefix_consistent: bool = True
 
     def filter_set(self) -> frozenset[Node]:
+        """The chosen filters as an (order-free) frozen set ``A``."""
         return frozenset(self.filters)
 
     def prefix(self, j: int) -> frozenset[Node]:

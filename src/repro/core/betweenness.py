@@ -43,6 +43,7 @@ class BetweennessPlacement:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """Take the ``k`` highest positive-betweenness nodes."""
         check_budget(graph, k)
         node_rank = {v: i for i, v in enumerate(graph.nodes())}
         scores = betweenness_scores(graph)

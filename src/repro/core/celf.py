@@ -1,0 +1,177 @@
+"""Lazy-greedy ``Greedy_All`` — CELF on the incremental gain engine.
+
+``F`` is monotone and submodular (Theorem 3's prerequisites), so a node's
+marginal gain ``I(v | A)`` can only shrink as ``A`` grows.  The classic
+consequence (Minoux's lazy greedy, popularized as CELF by Leskovec et al.)
+is that *stale* gains are upper bounds: keep every candidate in a max-heap
+keyed by the last gain you computed for it, and a candidate whose stale
+key already tops the heap with a fresh value needs no other candidate
+re-evaluated at all.
+
+This implementation pairs the heap with the backends' incremental gain
+engine (:meth:`repro.backends.base.PropagationBackend.gain_session`):
+
+1. one full sweep seeds the heap with ``I(v | ∅)`` for every node;
+2. selecting a node costs one *regional* session update
+   (``add_filter`` re-settles ψ downstream and W upstream of the pick),
+   which reports exactly which candidates' gains moved — only those heap
+   entries become stale;
+3. a stale entry popped from the heap is refreshed with an O(1) state
+   read (``session.gain``) and pushed back; fresh entries are selected
+   immediately.
+
+Hence the whole run needs exactly **one** full-graph propagation sweep —
+eager ``Greedy_All`` needs one *per placement* — and the placement
+sequence is provably identical: ties are broken by the same
+``graph.nodes()`` rank as the eager loop, and a popped fresh entry
+dominates every other candidate's true gain because all other entries are
+upper bounds of theirs.
+
+Selection equivalence is enforced by ``tests/test_lazy_greedy_equivalence``
+across datasets, budgets and backends; the bench suite ``lazy`` measures
+the evaluation savings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.base import PlacementResult, PlacementStep, check_budget
+from repro.graphs.cgraph import CGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
+
+Node = Hashable
+
+#: Audit record emitted per lazy refresh: (node, stale upper bound, fresh
+#: gain, selection round).  Submodularity guarantees fresh ≤ stale — the
+#: property test asserts it.
+AuditEntry = tuple[Node, int, int, int]
+
+
+class CelfGreedyAll:
+    """CELF ``Greedy_All``: identical selections, one full sweep total.
+
+    Parameters
+    ----------
+    early_stop:
+        Mirror of :class:`repro.core.greedy_all.GreedyAll`'s flag.  True
+        (default) stops once every remaining gain is zero; False keeps
+        selecting zero-gain nodes until ``k`` placements, reproducing
+        Algorithm 1 as printed.
+    backend:
+        Propagation backend for the session (name, instance, or None for
+        the registry default).
+    name:
+        Override the reported algorithm name.  The strategy layer passes
+        the *base* name (e.g. ``"G_All"``) so downstream labels, bench
+        keys and drift detection treat lazy execution as what it is — an
+        execution detail with bit-identical results.
+    audit:
+        Optional list collecting an :data:`AuditEntry` per refresh, for
+        the heap-staleness property check.
+    """
+
+    name = "G_All_lazy"
+    prefix_consistent = True
+
+    def __init__(
+        self,
+        *,
+        early_stop: bool = True,
+        backend: "str | PropagationBackend | None" = None,
+        name: str | None = None,
+        audit: list[AuditEntry] | None = None,
+    ) -> None:
+        self.early_stop = early_stop
+        self.backend = backend
+        self.audit = audit
+        if name is not None:
+            self.name = name
+
+    def place(
+        self,
+        graph: CGraph,
+        k: int,
+        *,
+        rng: random.Random | None = None,
+    ) -> PlacementResult:
+        """CELF selection: one full sweep, then heap pops + regional updates."""
+        from repro.backends.registry import resolve_backend
+
+        check_budget(graph, k)
+        node_rank = {v: i for i, v in enumerate(graph.nodes())}
+        chosen: list[Node] = []
+        steps: list[PlacementStep] = []
+        if k == 0:
+            return PlacementResult(
+                algorithm=self.name, filters=(), requested_k=0, steps=()
+            )
+
+        session = resolve_backend(self.backend).gain_session(graph, ())
+        # Max-heap of (-gain, rank); rank is unique per node, so entries
+        # never compare the (possibly unorderable) node itself, and ties
+        # resolve to the lowest graph.nodes() rank — bit-identical to the
+        # eager argmax.
+        heap: list[tuple[int, int, Node]] = [
+            (-gain, node_rank[v], v)
+            for v, gain in session.gains().items()
+            if gain > 0 or not self.early_stop
+        ]
+        heapq.heapify(heap)
+        stale: set[Node] = set()
+
+        refreshes = 0
+        first_step = True
+        round_no = 0
+        while len(chosen) < k and heap:
+            neg_gain, _, v = heapq.heappop(heap)
+            if v in stale:
+                # Lazy re-evaluation: an O(1) read of the maintained
+                # session state, only ever for the current heap top.
+                gain = session.gain(v)
+                stale.discard(v)
+                refreshes += 1
+                if self.audit is not None:
+                    self.audit.append((v, -neg_gain, gain, round_no))
+                if gain > 0 or not self.early_stop:
+                    heapq.heappush(heap, (-gain, node_rank[v], v))
+                continue
+            gain = -neg_gain
+            if gain <= 0 and self.early_stop:
+                break  # defensive: only positive gains are ever pushed
+            # Fresh heap top: every other entry is an upper bound of its
+            # node's true gain, so v is the exact argmax — select it.
+            affected = session.add_filter(v)
+            evaluations = [("session_refresh", refreshes), ("session_update", 1)]
+            if first_step:
+                evaluations.append(("session_init", 1))
+                first_step = False
+            steps.append(
+                PlacementStep(
+                    node=v,
+                    gain=gain,
+                    evaluations=tuple(
+                        sorted((k_, c) for k_, c in evaluations if c)
+                    ),
+                )
+            )
+            chosen.append(v)
+            stale.update(affected)
+            stale.discard(v)
+            refreshes = 0
+            round_no += 1
+        return PlacementResult(
+            algorithm=self.name,
+            filters=tuple(chosen),
+            requested_k=k,
+            steps=tuple(steps),
+        )
+
+
+def lazy_greedy_all(graph: CGraph, k: int) -> PlacementResult:
+    """Functional convenience wrapper around :class:`CelfGreedyAll`."""
+    return CelfGreedyAll().place(graph, k)

@@ -96,6 +96,7 @@ class ExhaustiveSearch:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """Enumerate filter sets and return a true argmax of ``F``."""
         filters, _ = optimal_placement(
             graph, k, subset_limit=self.subset_limit
         )

@@ -11,15 +11,12 @@ Two implementations with identical outputs:
 
 * :class:`GreedyAll` — the direct algorithm, one linear impact sweep per
   iteration (using the fast engine of :mod:`repro.core.impact`).
-* :class:`LazyGreedyAll` — Minoux's lazy-evaluation strategy: stale gains
-  are upper bounds under submodularity, so a max-heap of stale scores can
-  skip most re-evaluations.  With this library's impact engine a *single*
-  re-evaluation already costs a full linear sweep, so laziness cannot beat
-  the eager version asymptotically — the class exists as an ablation
-  (run ``filter-placement bench --suite ablation``, implemented by
-  :func:`repro.bench.scenarios.ablation_suite`, which crosses eager/lazy
-  with every propagation backend) and as the natural choice if a per-node
-  incremental engine is ever added.
+* :class:`repro.core.celf.CelfGreedyAll` (re-exported here as
+  ``LazyGreedyAll``) — the lazy-greedy/CELF strategy on the backends'
+  incremental gain engine: one full sweep total, then regional updates
+  after each placement and O(1) refreshes of stale heap tops.  Select it
+  with ``--strategy lazy`` on the CLI or
+  ``get_algorithm("G_All", strategy="lazy")``.
 
 Both classes evaluate gains through the pluggable backend registry
 (:mod:`repro.backends.registry`); pass ``backend=`` to pin one, or leave
@@ -28,12 +25,11 @@ it None to use the process default (the CLI's ``--backend`` flag).
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
 from typing import TYPE_CHECKING, Hashable
 
 from repro.core.base import PlacementResult, PlacementStep, check_budget
+from repro.core.celf import CelfGreedyAll
 from repro.core.impact import marginal_gains
 from repro.graphs.cgraph import CGraph
 
@@ -41,6 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
 
 Node = Hashable
+
+#: Backwards-compatible alias: the lazy variant now lives in
+#: :mod:`repro.core.celf` and runs on the incremental gain engine.
+LazyGreedyAll = CelfGreedyAll
 
 
 class GreedyAll:
@@ -73,6 +73,7 @@ class GreedyAll:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """One ``I(v | A)`` sweep per pick; argmax with rank tie-breaks."""
         check_budget(graph, k)
         node_rank = {v: i for i, v in enumerate(graph.nodes())}
         chosen: list[Node] = []
@@ -98,77 +99,13 @@ class GreedyAll:
                 break  # every remaining candidate is useless; stop early
             current.add(best)
             chosen.append(best)
-            steps.append(PlacementStep(node=best, gain=best_gain))
-        return PlacementResult(
-            algorithm=self.name,
-            filters=tuple(chosen),
-            requested_k=k,
-            steps=tuple(steps),
-        )
-
-
-class LazyGreedyAll:
-    """Lazy-evaluation ``Greedy_All`` (identical selections)."""
-
-    name = "G_All_lazy"
-    prefix_consistent = True
-
-    def __init__(
-        self,
-        *,
-        backend: "str | PropagationBackend | None" = None,
-    ) -> None:
-        self.backend = backend
-
-    def place(
-        self,
-        graph: CGraph,
-        k: int,
-        *,
-        rng: random.Random | None = None,
-    ) -> PlacementResult:
-        check_budget(graph, k)
-        node_rank = {v: i for i, v in enumerate(graph.nodes())}
-        counter = itertools.count()
-
-        cached = marginal_gains(graph, (), backend=self.backend)
-        # Max-heap of (-gain, rank, tiebreak, node); rank ordering makes tie
-        # resolution bit-identical to the eager implementation.
-        heap: list[tuple[int, int, int, Node]] = [
-            (-gain, node_rank[v], next(counter), v)
-            for v, gain in cached.items()
-            if gain > 0
-        ]
-        heapq.heapify(heap)
-        scored_round: dict[Node, int] = {v: 0 for v in cached}
-
-        chosen: list[Node] = []
-        steps: list[PlacementStep] = []
-        current: set[Node] = set()
-        round_no = 0
-        swept_round = 0
-        while len(chosen) < k and heap:
-            neg_gain, _, _, v = heapq.heappop(heap)
-            if v in current:
-                continue
-            if scored_round[v] == round_no:
-                gain = -neg_gain
-                if gain <= 0:
-                    break
-                current.add(v)
-                chosen.append(v)
-                steps.append(PlacementStep(node=v, gain=gain))
-                round_no += 1
-                continue
-            # Stale entry: refresh (at most one sweep per selection round —
-            # further stale pops in the same round reuse the cached sweep).
-            if swept_round != round_no:
-                cached = marginal_gains(graph, current, backend=self.backend)
-                swept_round = round_no
-            gain = cached[v]
-            scored_round[v] = round_no
-            if gain > 0:
-                heapq.heappush(heap, (-gain, node_rank[v], next(counter), v))
+            steps.append(
+                PlacementStep(
+                    node=best,
+                    gain=best_gain,
+                    evaluations=(("marginal_gains", 1),),
+                )
+            )
         return PlacementResult(
             algorithm=self.name,
             filters=tuple(chosen),

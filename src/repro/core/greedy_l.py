@@ -92,6 +92,7 @@ class GreedyL:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """One ``I'(v)`` sweep per pick (Algorithm 2)."""
         check_budget(graph, k)
         node_rank = {v: i for i, v in enumerate(graph.nodes())}
         order = graph.topological_order()
@@ -122,7 +123,13 @@ class GreedyL:
                 break
             current.add(best)
             chosen.append(best)
-            steps.append(PlacementStep(node=best, gain=best_score))
+            steps.append(
+                PlacementStep(
+                    node=best,
+                    gain=best_score,
+                    evaluations=(("simplified_impacts", 1),),
+                )
+            )
         return PlacementResult(
             algorithm=self.name,
             filters=tuple(chosen),

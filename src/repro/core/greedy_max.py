@@ -50,6 +50,7 @@ class GreedyMax:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """Rank once by ``I(v | ∅)`` and take the top ``k``."""
         check_budget(graph, k)
         node_rank = {v: i for i, v in enumerate(graph.nodes())}
         scored = impacts(graph, backend=self.backend)
@@ -58,8 +59,15 @@ class GreedyMax:
             key=lambda v: (-scored[v], node_rank[v]),
         )
         chosen = tuple(ranked[:k])
+        # The single sweep is charged to the first pick; later picks are
+        # free table lookups.
         steps = tuple(
-            PlacementStep(node=v, gain=scored[v]) for v in chosen
+            PlacementStep(
+                node=v,
+                gain=scored[v],
+                evaluations=(("marginal_gains", 1),) if i == 0 else (),
+            )
+            for i, v in enumerate(chosen)
         )
         return PlacementResult(
             algorithm=self.name,

@@ -50,6 +50,7 @@ class GreedyOne:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """Rank by ``m(v) = din(v) × dout(v)`` and take the top ``k``."""
         check_budget(graph, k)
         node_rank = {v: i for i, v in enumerate(graph.nodes())}
         scores = {v: degree_score(graph, v) for v in graph.nodes()}

@@ -43,6 +43,7 @@ class RandomK:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """A uniformly random ``k``-subset of the nodes (``Rand_K``)."""
         check_budget(graph, k)
         rng = _require_rng(rng)
         chosen = tuple(rng.sample(list(graph.nodes()), k))
@@ -67,6 +68,7 @@ class RandomIndependent:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """Independent coin flips with ``p = k/n`` (``Rand_I``)."""
         check_budget(graph, k)
         rng = _require_rng(rng)
         n = graph.number_of_nodes()
@@ -103,6 +105,7 @@ class RandomWeighted:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """Degree-weighted sampling without replacement (``Rand_W``)."""
         check_budget(graph, k)
         rng = _require_rng(rng)
         n = graph.number_of_nodes()

@@ -1,16 +1,35 @@
-"""Name-based algorithm lookup.
+"""Name-based algorithm lookup, with an execution-strategy axis.
 
 The experiment drivers, benchmarks and CLI all refer to algorithms by the
 names the paper's figures use (``G_All``, ``G_Max``, ``G_1``, ``G_L``,
 ``Rand_W``, ``Rand_I``, ``Rand_K``) plus this library's extras.
+
+Orthogonal to the *name* is the **strategy** — how the selections are
+computed, never *what* they are:
+
+* ``exact`` (default) — the direct implementations; eager ``Greedy_All``
+  runs one full impact sweep per placement.
+* ``lazy`` — the CELF implementations on the incremental gain engine
+  (:mod:`repro.core.celf`): one full sweep total, regional updates after
+  each placement.  Results are bit-identical to ``exact`` (enforced by
+  the equivalence tests), so a strategy switch can never change a figure,
+  a filter set, or a ``BENCH.json`` drift check — only the cost profile.
+
+Algorithms without a lazy path (the heuristics, the randomized baselines,
+the exact searches) ignore the strategy: there is nothing to lazify in a
+single-sweep or sweep-free method.  Scope a strategy with
+:func:`use_strategy` (the CLI's ``--strategy`` flag does this) or pass it
+per lookup via ``get_algorithm(name, strategy=...)``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 
 from repro.core.base import PlacementAlgorithm
 from repro.core.betweenness import BetweennessPlacement
+from repro.core.celf import CelfGreedyAll
 from repro.core.exhaustive import ExhaustiveSearch
 from repro.core.greedy_all import GreedyAll, LazyGreedyAll
 from repro.core.greedy_l import GreedyL
@@ -41,8 +60,25 @@ _FACTORIES: dict[str, Callable[[], PlacementAlgorithm]] = {
     "Betweenness": BetweennessPlacement,
 }
 
+#: Lazy-capable names: under ``strategy="lazy"`` these resolve to CELF
+#: variants that keep the original reported name (results are identical,
+#: so labels, curves and bench keys must not fork).
+_LAZY_FACTORIES: dict[str, Callable[[], PlacementAlgorithm]] = {
+    "G_All": lambda: CelfGreedyAll(name="G_All"),
+    "G_All_paper": lambda: CelfGreedyAll(
+        early_stop=False, name="G_All_paper"
+    ),
+    "G_All_lazy": CelfGreedyAll,
+}
+
 #: Every registered algorithm name, in presentation order.
 ALGORITHM_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+#: Execution strategies accepted by ``get_algorithm`` / ``--strategy``.
+STRATEGY_NAMES: tuple[str, ...] = ("exact", "lazy")
+
+#: Algorithm names that actually change execution under ``lazy``.
+LAZY_CAPABLE_NAMES: tuple[str, ...] = tuple(_LAZY_FACTORIES)
 
 #: The seven algorithms the paper's FR figures plot, in legend order.
 PAPER_ALGORITHM_NAMES: tuple[str, ...] = (
@@ -67,18 +103,71 @@ DETERMINISTIC_ALGORITHM_NAMES: tuple[str, ...] = (
     "Betweenness",
 )
 
+_default_strategy: str = "exact"
 
-def get_algorithm(name: str) -> PlacementAlgorithm:
+
+def _check_strategy(strategy: str) -> None:
+    if strategy not in STRATEGY_NAMES:
+        known = ", ".join(STRATEGY_NAMES)
+        raise ParameterError(
+            f"unknown strategy {strategy!r}; known strategies: {known}"
+        )
+
+
+def get_default_strategy() -> str:
+    """The strategy used when ``get_algorithm`` gets no explicit one."""
+    return _default_strategy
+
+
+def set_default_strategy(strategy: str) -> None:
+    """Set the process-wide default execution strategy."""
+    global _default_strategy
+    _check_strategy(strategy)
+    _default_strategy = strategy
+
+
+@contextmanager
+def use_strategy(strategy: str) -> Iterator[str]:
+    """Scope the default strategy to a ``with`` block.
+
+    This is how the strategy reaches code that looks algorithms up by
+    name deep inside a run (experiment drivers, the FR sweep, the bench
+    harness) without threading a parameter through every layer.
+    """
+    global _default_strategy
+    previous = _default_strategy
+    set_default_strategy(strategy)
+    try:
+        yield strategy
+    finally:
+        _default_strategy = previous
+
+
+def get_algorithm(
+    name: str,
+    *,
+    strategy: str | None = None,
+) -> PlacementAlgorithm:
     """Instantiate the algorithm registered under ``name``.
 
-    Raises :class:`~repro.exceptions.ParameterError` for unknown names,
-    listing the valid ones.
+    ``strategy`` selects the execution strategy (``"exact"`` or
+    ``"lazy"``; None uses the scoped/process default).  Lazy execution
+    returns the CELF implementation for capable names and the exact one
+    otherwise — selections are identical either way.
+
+    Raises :class:`~repro.exceptions.ParameterError` for unknown names or
+    strategies, listing the valid ones.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
+    if strategy is None:
+        strategy = _default_strategy
+    _check_strategy(strategy)
+    if name not in _FACTORIES:
         known = ", ".join(sorted(_FACTORIES))
         raise ParameterError(
             f"unknown algorithm {name!r}; known algorithms: {known}"
-        ) from None
-    return factory()
+        )
+    if strategy == "lazy":
+        lazy_factory = _LAZY_FACTORIES.get(name)
+        if lazy_factory is not None:
+            return lazy_factory()
+    return _FACTORIES[name]()

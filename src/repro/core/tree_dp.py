@@ -50,6 +50,7 @@ class TreeDynamicProgram:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
+        """Exact optimum on a (binarized) tree by bottom-up DP (§4.1)."""
         check_budget(graph, k)
         filters, _ = tree_optimal_placement(graph, k)
         return PlacementResult(

@@ -43,12 +43,29 @@ def run_experiments(
     scale: float | None = None,
     trials: int | None = None,
     backend: str | None = None,
+    strategy: str | None = None,
 ) -> list[ExperimentResult]:
     """Run the named experiments and return their results in order.
 
     ``backend`` scopes the propagation backend for the whole run (a name
     from :data:`repro.backends.BACKEND_NAMES`; None keeps the default).
+    ``strategy`` scopes the execution strategy the same way (a name from
+    :data:`repro.core.registry.STRATEGY_NAMES`): under ``"lazy"`` every
+    ``Greedy_All`` evaluation inside the figures runs as CELF on the
+    incremental gain engine — identical curves, fewer sweeps.
     """
+    if strategy is not None:
+        from repro.core.registry import use_strategy
+
+        with use_strategy(strategy):
+            return run_experiments(
+                names,
+                fast=fast,
+                seed=seed,
+                scale=scale,
+                trials=trials,
+                backend=backend,
+            )
     if backend is not None:
         from repro.backends.registry import use_backend
 
@@ -96,6 +113,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="propagation backend for every evaluation (default: auto)",
     )
+    from repro.core.registry import STRATEGY_NAMES
+
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGY_NAMES,
+        default=None,
+        help="execution strategy for lazy-capable algorithms "
+        "(default: exact)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENT_NAMES) if "all" in args.names else args.names
@@ -107,6 +133,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         scale=args.scale,
         trials=args.trials,
         backend=args.backend,
+        strategy=args.strategy,
     ):
         print(result.render())
     print(f"[{time.perf_counter() - start:.1f}s total]")

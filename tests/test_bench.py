@@ -130,8 +130,8 @@ def test_bench_cli_writes_valid_json(tmp_path, capsys):
     assert code == 0
     doc = load_bench_json(str(out))
     assert doc["meta"]["suite"] == "toy"
-    assert len(doc["results"]) == 8  # 2 datasets x 4 algorithms x 1 backend
-    assert "wrote 8 result(s)" in capsys.readouterr().out
+    assert len(doc["results"]) == 10  # 2 datasets x 5 algorithms x 1 backend
+    assert "wrote 10 result(s)" in capsys.readouterr().out
 
 
 def test_bench_cli_compare_in_place_loads_prior_first(tmp_path, capsys):
