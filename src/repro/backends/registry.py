@@ -23,12 +23,17 @@ from repro.backends.base import PropagationBackend
 from repro.backends.numpy_backend import NumpyBackend, numpy_available
 from repro.backends.python_backend import PythonBackend
 from repro.exceptions import ParameterError
+from repro.scoping import ScopedDefault
 
 #: Every name accepted by ``get_backend`` / the CLI ``--backend`` flag.
 BACKEND_NAMES: tuple[str, ...] = ("python", "numpy", "auto")
 
 _instances: dict[str, PropagationBackend] = {}
-_default: str | PropagationBackend = "auto"
+
+# ``use_backend`` scopes are per-thread: the service runs concurrent jobs
+# with different backends on one worker pool, and a process-wide scope
+# would let one request's backend leak into another's timed region.
+_default: ScopedDefault[str | PropagationBackend] = ScopedDefault("auto")
 
 
 def available_backends() -> tuple[str, ...]:
@@ -68,9 +73,13 @@ def get_backend(name: str) -> PropagationBackend:
 def resolve_backend(
     spec: str | PropagationBackend | None,
 ) -> PropagationBackend:
-    """Turn a backend spec (name, instance, or None=default) into an instance."""
+    """Turn a backend spec (name, instance, or None=default) into an instance.
+
+    The default is the innermost :func:`use_backend` scope on the calling
+    thread, falling back to the process-wide default.
+    """
     if spec is None:
-        spec = _default
+        spec = _default.get()
     if isinstance(spec, str):
         return get_backend(spec)
     return spec
@@ -83,26 +92,27 @@ def get_default_backend() -> PropagationBackend:
 
 def set_default_backend(spec: str | PropagationBackend) -> None:
     """Set the process-wide default backend (a name or an instance)."""
-    global _default
     if isinstance(spec, str) and spec not in BACKEND_NAMES:
         known = ", ".join(BACKEND_NAMES)
         raise ParameterError(
             f"unknown backend {spec!r}; known backends: {known}"
         )
-    _default = spec
+    _default.set_global(spec)
 
 
 @contextmanager
 def use_backend(spec: str | PropagationBackend) -> Iterator[PropagationBackend]:
-    """Scope the default backend to a ``with`` block.
+    """Scope the default backend to a ``with`` block, on this thread only.
 
     Yields the resolved instance so callers can also query it directly
     (the bench harness reads evaluation counters off its wrapper this way).
+    Scopes nest, and being thread-local they cannot bleed between the
+    service's concurrent placement jobs.
     """
-    global _default
-    previous = _default
-    set_default_backend(spec)
-    try:
+    if isinstance(spec, str) and spec not in BACKEND_NAMES:
+        known = ", ".join(BACKEND_NAMES)
+        raise ParameterError(
+            f"unknown backend {spec!r}; known backends: {known}"
+        )
+    with _default.scoped(spec):
         yield resolve_backend(spec)
-    finally:
-        _default = previous

@@ -183,6 +183,39 @@ def lazy_savings(
     return ratios
 
 
+def cache_speedup(
+    records_or_rows: Sequence[Any],
+) -> dict[str, float]:
+    """Per-cell latency ratio cold-miss / cached-hit on service cells.
+
+    Matches ``…/cold`` and ``…/hit`` key pairs produced by the
+    ``service`` suite and divides their wall-clock seconds.  The
+    acceptance bar is a ratio ≥ 50 on the default serving scenario —
+    a cached placement must be at least 50× cheaper than computing one.
+
+    Accepts :class:`~repro.bench.results.BenchRecord` objects or raw
+    ``results`` rows; returns ``{hit-cell-key: ratio}``.
+    """
+    rows = [
+        r.to_json_dict() if hasattr(r, "to_json_dict") else r
+        for r in records_or_rows
+    ]
+    seconds = {row["key"]: float(row["seconds"]) for row in rows}
+    ratios: dict[str, float] = {}
+    for key, hit_seconds in seconds.items():
+        if not key.endswith("/hit"):
+            continue
+        cold_key = key[: -len("/hit")] + "/cold"
+        if cold_key not in seconds:
+            continue
+        ratios[key] = (
+            float("inf")
+            if hit_seconds == 0
+            else seconds[cold_key] / hit_seconds
+        )
+    return ratios
+
+
 def summarize_speedups(
     records_or_rows: Sequence[Any],
     *,

@@ -54,6 +54,16 @@ def run_scenario(
     """
     if repeats <= 0:
         raise ParameterError("repeats must be positive")
+    if scenario.mode != "algorithm":
+        # Service cells time the request path, not the bare algorithm.
+        from repro.bench.service import run_service_scenario
+
+        return run_service_scenario(
+            scenario,
+            graph=graph,
+            repeats=repeats,
+            phi_constants=phi_constants,
+        )
     if graph is None:
         graph = _load_graph(scenario)
     backend = get_backend(scenario.backend)
@@ -157,9 +167,14 @@ def render_records(records: Sequence[BenchRecord]) -> str:
     rows = []
     for r in records:
         s = r.scenario
+        algorithm = s.algorithm
+        if s.mode == "service_cold":
+            algorithm += ":cold"
+        elif s.mode == "service_hit":
+            algorithm += ":hit"
         rows.append([
             s.dataset if s.scale is None else f"{s.dataset}@{s.scale:g}",
-            s.algorithm,
+            algorithm,
             str(s.k),
             s.backend,
             str(r.nodes),

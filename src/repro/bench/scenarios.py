@@ -26,6 +26,11 @@ Built-in suites
     default datasets at ``k ≥ 10``, where the acceptance bar is ≥5×
     fewer full propagation sweeps for the lazy cells
     (:func:`repro.bench.compare.lazy_savings`).
+``service``
+    The serving axis: the same placement request through
+    :mod:`repro.service` against a cold vs a warm placement cache, where
+    the acceptance bar is a ≥50× cold/hit latency ratio
+    (:func:`repro.bench.compare.cache_speedup`).
 """
 
 from __future__ import annotations
@@ -36,13 +41,25 @@ from dataclasses import dataclass
 from repro.exceptions import ParameterError
 
 
+#: Measurement modes: ``algorithm`` times ``algorithm.place`` directly;
+#: the ``service_*`` modes time the serving path of :mod:`repro.service`
+#: (cold cache miss vs cached hit) for the same request.
+SCENARIO_MODES: tuple[str, ...] = (
+    "algorithm",
+    "service_cold",
+    "service_hit",
+)
+
+
 @dataclass(frozen=True)
 class BenchScenario:
     """One benchmark cell: run ``algorithm`` on ``dataset`` with ``backend``.
 
     ``scale``/``seed`` parameterize the dataset generator (None means the
-    generator's default scale).  ``key()`` identifies the cell across runs
-    — the regression comparator matches prior and current records by it.
+    generator's default scale).  ``mode`` selects what is timed — the bare
+    algorithm, or the service's cold-miss / cached-hit request path for
+    the identical placement.  ``key()`` identifies the cell across runs —
+    the regression comparator matches prior and current records by it.
     """
 
     dataset: str
@@ -51,14 +68,20 @@ class BenchScenario:
     backend: str
     scale: float | None = None
     seed: int = 0
+    mode: str = "algorithm"
 
     def key(self) -> str:
-        """``dataset@scale/seedN/algorithm/kK/backend`` — the cell id."""
+        """``dataset@scale/seedN/algorithm/kK/backend[/cold|/hit]``."""
         scale = "default" if self.scale is None else f"{self.scale:g}"
-        return (
+        base = (
             f"{self.dataset}@{scale}/seed{self.seed}"
             f"/{self.algorithm}/k{self.k}/{self.backend}"
         )
+        if self.mode == "service_cold":
+            return f"{base}/cold"
+        if self.mode == "service_hit":
+            return f"{base}/hit"
+        return base
 
     def graph_key(self) -> tuple[str, float | None, int]:
         """Cache key for the generated graph (shared across cells)."""
@@ -104,7 +127,12 @@ def toy_suite(
 def default_suite(
     *, backends: Sequence[str] | None = None, seed: int = 0
 ) -> list[BenchScenario]:
-    """The cross-PR trajectory matrix at paper scale."""
+    """The cross-PR trajectory matrix at paper scale.
+
+    Includes the service cells (cold-miss vs cached-hit on the default
+    serving scenario) so the committed ``BENCH.json`` tracks serving
+    latency alongside raw algorithm cost.
+    """
     backends = _resolve_backends(backends)
     cells: list[tuple[str, float | None]] = [
         ("synthetic-sparse", 2.0),  # n ≥ 2000: the backend speedup gate
@@ -112,10 +140,56 @@ def default_suite(
         ("quote", 1.0),
         ("citation", 1.0),
     ]
-    return _cross(
+    scenarios = _cross(
         cells, ("G_All", "G_All_lazy", "G_Max", "G_1", "G_L"), 10,
         backends, seed
     )
+    scenarios.extend(
+        _service_cells([("synthetic-sparse", 2.0)], backends, seed)
+    )
+    return scenarios
+
+
+def _service_cells(
+    cells: Sequence[tuple[str, float | None]],
+    backends: Sequence[str],
+    seed: int,
+) -> list[BenchScenario]:
+    return [
+        BenchScenario(
+            dataset=dataset,
+            algorithm="G_All",
+            k=10,
+            backend=backend,
+            scale=scale,
+            seed=seed,
+            mode=mode,
+        )
+        for dataset, scale in cells
+        for backend in backends
+        for mode in ("service_cold", "service_hit")
+    ]
+
+
+def service_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The serving axis: cold-miss latency vs cached-hit latency.
+
+    For each (dataset, backend) the pair of cells measures the same
+    ``G_All`` ``k=10`` request through :mod:`repro.service` — first
+    against an empty placement cache (job submission + full computation +
+    payload build), then against a warm one (pure lookup).  The
+    acceptance bar is a cold/hit ratio ≥ 50 on the default scenario
+    (``synthetic-sparse@2.0``), checked by
+    :func:`repro.bench.compare.cache_speedup`.
+    """
+    backends = _resolve_backends(backends)
+    cells: list[tuple[str, float | None]] = [
+        ("synthetic-sparse", 2.0),
+        ("quote", 1.0),
+    ]
+    return _service_cells(cells, backends, seed)
 
 
 def ablation_suite(
@@ -164,6 +238,7 @@ _SUITES = {
     "default": default_suite,
     "ablation": ablation_suite,
     "lazy": lazy_suite,
+    "service": service_suite,
 }
 
 #: Every built-in suite name, in presentation order.

@@ -4,17 +4,26 @@ Subcommands
 -----------
 ``place``
     Run a placement algorithm on a dataset (built-in or edge-list file)
-    and print the chosen filters with their Filter Ratio.
+    and print the chosen filters with their Filter Ratio.  ``--json``
+    emits the machine-readable payload instead — the *same* payload the
+    HTTP service returns, produced by the shared serializer
+    (:mod:`repro.service.serialize`).
 ``stats``
-    Structural summary of a dataset.
+    Structural summary of a dataset (``--json`` for machine-readable).
 ``experiment``
     Run paper-figure experiments (thin wrapper over
     :mod:`repro.experiments.runner`).
 ``generate``
-    Write a built-in dataset to an edge-list file.
+    Write a built-in dataset to an edge-list file.  The header records
+    the generating spec (dataset, seed, scale) and the structural
+    directives that make the file a lossless round-trip — re-registering
+    the generated file yields the same content digest.
 ``bench``
     Run a benchmark suite (:mod:`repro.bench`), print the table, write
     ``BENCH.json``, and optionally compare against a prior run.
+``serve``
+    Boot the placement service (:mod:`repro.service`): a graph store,
+    placement cache and worker pool behind a stdlib HTTP JSON API.
 
 ``--backend {python,numpy,auto}`` selects the propagation backend
 (``auto``, the default, uses NumPy when available); every backend returns
@@ -33,18 +42,20 @@ Examples
     filter-placement place --dataset quote --algorithm G_All -k 4
     filter-placement place --edges my_graph.txt --algorithm G_Max -k 10
     filter-placement place --dataset citation -k 10 --backend numpy
-    filter-placement place --dataset citation -k 10 --strategy lazy
-    filter-placement stats --dataset citation --scale 0.1
+    filter-placement place --dataset citation -k 10 --strategy lazy --json
+    filter-placement stats --dataset citation --scale 0.1 --json
     filter-placement experiment fig7 --fast
-    filter-placement generate --dataset twitter --scale 0.05 -o twitter.txt
+    filter-placement generate --dataset twitter --scale 0.05 --seed 7 -o t.txt
     filter-placement bench --suite toy --out BENCH.json
-    filter-placement bench --suite lazy --out BENCH.lazy.json
+    filter-placement bench --suite service --out BENCH.service.json
     filter-placement bench --suite default --compare BENCH.prior.json
+    filter-placement serve --port 8080 --workers 8
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections.abc import Sequence
@@ -122,6 +133,12 @@ def _run_place(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     algorithm = get_algorithm(args.algorithm, strategy=args.strategy)
     result = algorithm.place(graph, args.k)
+    if args.json:
+        from repro.service.serialize import placement_payload
+
+        print(json.dumps(placement_payload(graph, result), indent=2,
+                         sort_keys=True))
+        return 0
     phi_empty = phi(graph, ())
     f_max = max_objective(graph, phi_empty=phi_empty)
     fr = filter_ratio(
@@ -143,17 +160,64 @@ def _run_place(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     name = args.dataset or str(args.edges)
+    if args.json:
+        from repro.service.serialize import stats_payload
+
+        print(json.dumps(stats_payload(name, describe(graph)), indent=2,
+                         sort_keys=True))
+        return 0
     print(format_stats_table({name: describe(graph)}))
     return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    write_edge_list(graph, args.output)
+    # Record the generating spec so the workload documents its own
+    # provenance; a fixed --seed makes the file byte-reproducible.
+    meta: dict[str, object] = {"seed": args.seed}
+    if args.dataset is not None:
+        meta["dataset"] = args.dataset
+    else:
+        meta["edges"] = str(args.edges)
+    if args.scale is not None:
+        meta["scale"] = args.scale
+    write_edge_list(graph, args.output, meta=meta)
     print(
         f"wrote {graph.number_of_nodes()} nodes / "
         f"{graph.number_of_edges()} edges to {args.output}"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import ServiceApp
+    from repro.service.http import make_server
+
+    app = ServiceApp(
+        workers=args.workers,
+        pool=args.pool,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        max_graphs=args.max_graphs,
+    )
+    for spec in args.preload:
+        entry, _ = app.store.register_dataset(spec)
+        print(f"preloaded {entry.name} as {entry.digest[:12]}")
+    server = make_server(app, args.host, args.port, verbose=args.verbose)
+    # Ephemeral binds (--port 0) print the real port; scripts parse this.
+    print(
+        f"filter-placement service listening on "
+        f"http://{args.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
     return 0
 
 
@@ -302,10 +366,19 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("-k", type=int, required=True, help="filter budget")
     _add_backend_argument(place)
     _add_strategy_argument(place)
+    place.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable payload (identical to the "
+        "service's POST /placements result)",
+    )
     place.set_defaults(func=_cmd_place)
 
     stats = sub.add_parser("stats", help="dataset structural summary")
     _add_graph_arguments(stats)
+    stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable stats"
+    )
     stats.set_defaults(func=_cmd_stats)
 
     generate = sub.add_parser("generate", help="write dataset edge list")
@@ -362,6 +435,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
     bench.set_defaults(func=_cmd_bench)
+
+    from repro.service.jobs import POOL_KINDS
+
+    serve = sub.add_parser(
+        "serve", help="run the placement service (HTTP JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="placement worker pool size"
+    )
+    serve.add_argument(
+        "--pool",
+        choices=POOL_KINDS,
+        default="thread",
+        help="worker pool kind: thread shares the resident graphs, "
+        "process isolates long big-int exact runs (default: thread)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="placement cache entry bound (default: 1024)",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        help="placement cache size bound in bytes (default: 32 MiB)",
+    )
+    serve.add_argument(
+        "--max-graphs",
+        type=int,
+        default=None,
+        help="LRU bound on resident graphs (default: unbounded)",
+    )
+    serve.add_argument(
+        "--preload",
+        nargs="*",
+        default=[],
+        metavar="DATASET",
+        help="built-in datasets to register at boot",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

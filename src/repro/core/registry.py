@@ -26,8 +26,13 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
+from typing import TYPE_CHECKING
 
 from repro.core.base import PlacementAlgorithm
+from repro.scoping import ScopedDefault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import PropagationBackend
 from repro.core.betweenness import BetweennessPlacement
 from repro.core.celf import CelfGreedyAll
 from repro.core.exhaustive import ExhaustiveSearch
@@ -103,7 +108,10 @@ DETERMINISTIC_ALGORITHM_NAMES: tuple[str, ...] = (
     "Betweenness",
 )
 
-_default_strategy: str = "exact"
+# ``use_strategy`` scopes are per-thread, mirroring ``use_backend``: the
+# service resolves algorithms concurrently and one request's strategy must
+# not leak into another's.
+_default_strategy: ScopedDefault[str] = ScopedDefault("exact")
 
 
 def _check_strategy(strategy: str) -> None:
@@ -115,38 +123,39 @@ def _check_strategy(strategy: str) -> None:
 
 
 def get_default_strategy() -> str:
-    """The strategy used when ``get_algorithm`` gets no explicit one."""
-    return _default_strategy
+    """The strategy used when ``get_algorithm`` gets no explicit one.
+
+    The innermost :func:`use_strategy` scope on the calling thread wins;
+    otherwise the process-wide default applies.
+    """
+    return _default_strategy.get()
 
 
 def set_default_strategy(strategy: str) -> None:
     """Set the process-wide default execution strategy."""
-    global _default_strategy
     _check_strategy(strategy)
-    _default_strategy = strategy
+    _default_strategy.set_global(strategy)
 
 
 @contextmanager
 def use_strategy(strategy: str) -> Iterator[str]:
-    """Scope the default strategy to a ``with`` block.
+    """Scope the default strategy to a ``with`` block, on this thread only.
 
     This is how the strategy reaches code that looks algorithms up by
     name deep inside a run (experiment drivers, the FR sweep, the bench
-    harness) without threading a parameter through every layer.
+    harness) without threading a parameter through every layer.  Scopes
+    nest and never bleed between threads.
     """
-    global _default_strategy
-    previous = _default_strategy
-    set_default_strategy(strategy)
-    try:
+    _check_strategy(strategy)
+    with _default_strategy.scoped(strategy):
         yield strategy
-    finally:
-        _default_strategy = previous
 
 
 def get_algorithm(
     name: str,
     *,
     strategy: str | None = None,
+    backend: "str | PropagationBackend | None" = None,
 ) -> PlacementAlgorithm:
     """Instantiate the algorithm registered under ``name``.
 
@@ -155,19 +164,52 @@ def get_algorithm(
     returns the CELF implementation for capable names and the exact one
     otherwise — selections are identical either way.
 
+    ``backend`` pins the propagation backend on the returned instance for
+    algorithms that evaluate gains through one (the greedy family) —
+    this is how the service resolves a fully-specified ``(name, strategy,
+    backend)`` request without touching any process-wide default.
+    Sweep-free algorithms ignore it.
+
     Raises :class:`~repro.exceptions.ParameterError` for unknown names or
     strategies, listing the valid ones.
     """
     if strategy is None:
-        strategy = _default_strategy
+        strategy = _default_strategy.get()
     _check_strategy(strategy)
     if name not in _FACTORIES:
         known = ", ".join(sorted(_FACTORIES))
         raise ParameterError(
             f"unknown algorithm {name!r}; known algorithms: {known}"
         )
+    factory = _FACTORIES[name]
     if strategy == "lazy":
-        lazy_factory = _LAZY_FACTORIES.get(name)
-        if lazy_factory is not None:
-            return lazy_factory()
-    return _FACTORIES[name]()
+        factory = _LAZY_FACTORIES.get(name, factory)
+    algorithm = factory()
+    if backend is not None and hasattr(algorithm, "backend"):
+        algorithm.backend = backend
+    return algorithm
+
+
+def is_deterministic(name: str) -> bool:
+    """True when ``name``'s results are a pure function of the graph.
+
+    The randomized baselines (``Rand_*``) are *not* in this set — their
+    results depend on the rng.  They are still cacheable by the service
+    because its cache key carries an explicit ``rng_seed`` that pins the
+    draw; this predicate tells clients (via ``GET /algorithms``) and the
+    bench comparator which names are reproducible without one.
+    """
+    return name in DETERMINISTIC_ALGORITHM_NAMES
+
+
+def algorithm_catalog() -> list[dict[str, object]]:
+    """One row per registered algorithm, for service discovery endpoints."""
+    return [
+        {
+            "name": name,
+            "lazy_capable": name in _LAZY_FACTORIES,
+            "deterministic": is_deterministic(name),
+            "paper": name in PAPER_ALGORITHM_NAMES,
+        }
+        for name in _FACTORIES
+    ]

@@ -5,7 +5,13 @@ Two formats are supported:
 * **Edge lists** — the lingua franca of the public datasets the paper uses
   (Memetracker, the Kwak et al. Twitter crawl, and the APS citation pairs
   all ship as whitespace-separated edge lists).  One ``u v`` pair per line;
-  ``#`` starts a comment.
+  ``#`` starts a comment.  Files written by :func:`write_edge_list`
+  additionally carry structured header directives (``# sources:``,
+  ``# isolated:``, ``# meta:``) so a write → read round-trip is lossless:
+  isolated nodes and an explicit source set survive, and the generating
+  spec (dataset, seed, scale) stays attached to the file.  Directives are
+  ordinary comments, so every third-party edge-list reader still accepts
+  the files, and files without directives load exactly as before.
 * **JSON** — lossless round-trip of nodes, edges and the source set, used
   for freezing generated datasets so experiments are replayable.
 """
@@ -14,12 +20,65 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Hashable
+from typing import Any, Hashable
 
 from repro.exceptions import ParameterError
 from repro.graphs.cgraph import CGraph
 
 Node = Hashable
+
+#: Header directives understood by :func:`read_edge_list`.
+_SOURCES_DIRECTIVE = "sources:"
+_ISOLATED_DIRECTIVE = "isolated:"
+_META_DIRECTIVE = "meta:"
+
+#: Tokens per directive line (keeps lines short for diffs and pagers).
+_DIRECTIVE_CHUNK = 64
+
+
+def _parse_token(token: str, int_ids: bool) -> Node:
+    if int_ids and token.lstrip("-").isdigit():
+        return int(token)
+    return token
+
+
+def _parse_edge_lines(
+    lines,
+    *,
+    origin: str,
+    comment: str,
+    int_ids: bool,
+    sources: list[Node] | None,
+) -> CGraph:
+    edges: list[tuple[Node, Node]] = []
+    directive_sources: list[Node] = []
+    isolated: list[Node] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(comment):
+            body = line[len(comment):].strip()
+            if body.startswith(_SOURCES_DIRECTIVE):
+                tokens = body[len(_SOURCES_DIRECTIVE):].split()
+                directive_sources.extend(
+                    _parse_token(t, int_ids) for t in tokens
+                )
+            elif body.startswith(_ISOLATED_DIRECTIVE):
+                tokens = body[len(_ISOLATED_DIRECTIVE):].split()
+                isolated.extend(_parse_token(t, int_ids) for t in tokens)
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ParameterError(
+                f"{origin}:{lineno}: expected 'u v', got {line!r}"
+            )
+        u, v = (_parse_token(parts[0], int_ids),
+                _parse_token(parts[1], int_ids))
+        edges.append((u, v))
+    if sources is None and directive_sources:
+        sources = directive_sources
+    return CGraph(edges, nodes=isolated, sources=sources)
 
 
 def read_edge_list(
@@ -36,42 +95,148 @@ def read_edge_list(
     path:
         File to read.
     comment:
-        Lines starting with this prefix are skipped.
+        Lines starting with this prefix are skipped — except the
+        ``sources:`` / ``isolated:`` directives written by
+        :func:`write_edge_list`, which restore the explicit source set and
+        any edge-free nodes (both invisible to a plain ``u v`` listing).
     int_ids:
         When true (default) node tokens that parse as integers are stored
         as ints — the convention of the SNAP/Kwak/APS dumps.
     sources:
-        Optional explicit source set (e.g. ``["sigcomm09"]``); defaults to
-        in-degree-zero detection.
+        Optional explicit source set (e.g. ``["sigcomm09"]``).  Overrides
+        a ``# sources:`` directive; when neither is present, sources
+        default to in-degree-zero detection.
     """
-    edges: list[tuple[Node, Node]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith(comment):
-                continue
-            parts = line.split()
-            if len(parts) != 2:
-                raise ParameterError(
-                    f"{path}:{lineno}: expected 'u v', got {line!r}"
-                )
-            u, v = parts
-            if int_ids:
-                u = int(u) if u.lstrip("-").isdigit() else u
-                v = int(v) if v.lstrip("-").isdigit() else v
-            edges.append((u, v))
-    return CGraph(edges, sources=sources)
+        return _parse_edge_lines(
+            handle,
+            origin=str(path),
+            comment=comment,
+            int_ids=int_ids,
+            sources=sources,
+        )
 
 
-def write_edge_list(graph: CGraph, path: str | Path) -> None:
-    """Write ``graph`` as a whitespace-separated edge list."""
+def read_edge_list_text(
+    text: str,
+    *,
+    comment: str = "#",
+    int_ids: bool = True,
+    sources: list[Node] | None = None,
+) -> CGraph:
+    """:func:`read_edge_list` on in-memory text (HTTP uploads, tests)."""
+    return _parse_edge_lines(
+        text.splitlines(),
+        origin="<text>",
+        comment=comment,
+        int_ids=int_ids,
+        sources=sources,
+    )
+
+
+def _write_directive(handle, name: str, tokens: list[str]) -> None:
+    for start in range(0, len(tokens), _DIRECTIVE_CHUNK):
+        chunk = " ".join(tokens[start:start + _DIRECTIVE_CHUNK])
+        handle.write(f"# {name} {chunk}\n")
+
+
+def _roundtrip_token(node: Node) -> str:
+    """``str(node)`` — verified to read back as exactly ``node``.
+
+    The edge-list format stores bare whitespace-separated tokens, so a
+    node id whose printed form is empty, contains whitespace, or
+    re-parses differently under the int rule (a *string* ``"5"`` would
+    come back as the *int* ``5``) cannot survive a round-trip.  Refusing
+    the write beats silently corrupting it; such graphs belong in the
+    JSON format (:func:`write_json_graph`).
+    """
+    token = str(node)
+    if not token or len(token.split()) != 1:
+        raise ParameterError(
+            f"node id {node!r} does not print as one whitespace-free "
+            "token; use the JSON graph format instead"
+        )
+    if _parse_token(token, int_ids=True) != node:
+        raise ParameterError(
+            f"node id {node!r} would read back as "
+            f"{_parse_token(token, int_ids=True)!r}; use the JSON graph "
+            "format instead"
+        )
+    return token
+
+
+def write_edge_list(
+    graph: CGraph,
+    path: str | Path,
+    *,
+    meta: dict[str, Any] | None = None,
+) -> None:
+    """Write ``graph`` as a whitespace-separated edge list.
+
+    The header records everything a bare ``u v`` listing loses: the
+    explicit source set (``# sources:``), edge-free nodes
+    (``# isolated:``), and — when ``meta`` is given — the generating spec
+    as one JSON object (``# meta:``), so a generated workload documents
+    its own dataset/seed/scale.  :func:`read_edge_list` restores the
+    structural directives, making write → read the identity: node ids
+    that cannot survive the token format (empty/whitespace prints, or
+    strings the int rule would re-type) are rejected up front rather
+    than silently corrupted.
+    """
+    token_of = {node: _roundtrip_token(node) for node in graph.nodes()}
+    isolated = [
+        v for v in graph.nodes()
+        if not graph.successors(v) and not graph.predecessors(v)
+    ]
     with open(path, "w", encoding="utf-8") as handle:
         handle.write("# filter-placement c-graph edge list\n")
         handle.write(
             f"# nodes={graph.number_of_nodes()} edges={graph.number_of_edges()}\n"
         )
+        if meta is not None:
+            handle.write(f"# {_META_DIRECTIVE} {json.dumps(meta, sort_keys=True)}\n")
+        if graph.sources:
+            _write_directive(
+                handle,
+                _SOURCES_DIRECTIVE,
+                sorted(token_of[s] for s in graph.sources),
+            )
+        if isolated:
+            _write_directive(
+                handle,
+                _ISOLATED_DIRECTIVE,
+                sorted(token_of[v] for v in isolated),
+            )
         for u, v in graph.edges():
-            handle.write(f"{u} {v}\n")
+            handle.write(f"{token_of[u]} {token_of[v]}\n")
+
+
+def read_edge_list_meta(path: str | Path) -> dict[str, Any] | None:
+    """The ``# meta:`` JSON object of an edge-list file, or None.
+
+    This is how a generated workload's provenance (dataset name, seed,
+    scale) is read back without loading the graph itself.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line.startswith("#"):
+                break
+            body = line[1:].strip()
+            if body.startswith(_META_DIRECTIVE):
+                payload = body[len(_META_DIRECTIVE):].strip()
+                try:
+                    loaded = json.loads(payload)
+                except json.JSONDecodeError as exc:
+                    raise ParameterError(
+                        f"{path}: malformed '# meta:' header: {exc}"
+                    ) from None
+                if not isinstance(loaded, dict):
+                    raise ParameterError(
+                        f"{path}: '# meta:' header must be a JSON object"
+                    )
+                return loaded
+    return None
 
 
 def write_json_graph(graph: CGraph, path: str | Path) -> None:

@@ -1,0 +1,38 @@
+"""Placement-as-a-service: graph store, result cache, worker pool, HTTP API.
+
+The batch CLI answers one question per process; this subsystem keeps the
+expensive state resident and shares it across requests:
+
+* :mod:`repro.service.store` — a content-addressed **GraphStore** holding
+  immutable :class:`~repro.graphs.cgraph.CGraph` instances (with their
+  topological order and propagation-backend plans warmed) under SHA-256
+  digests.
+* :mod:`repro.service.cache` — a **PlacementCache** keyed by
+  ``(graph_digest, algorithm, strategy, backend, k, rng_seed)`` with LRU +
+  size-bounded eviction and greedy prefix reuse (any ``k' ≤ k`` request is
+  served from a cached ``k`` run).
+* :mod:`repro.service.jobs` — a **JobManager** running cache misses on a
+  configurable worker pool with in-flight deduplication and cancellation.
+* :mod:`repro.service.app` / :mod:`repro.service.http` — the request layer:
+  a transport-free :class:`~repro.service.app.ServiceApp` plus the
+  stdlib-only HTTP JSON API behind ``filter-placement serve``.
+* :mod:`repro.service.serialize` — the one serializer both the service and
+  the CLI ``--json`` mode use, so API responses are bit-identical to
+  ``filter-placement place --json``.
+"""
+
+from __future__ import annotations
+
+from repro.service.app import ServiceApp
+from repro.service.cache import PlacementCache, PlacementKey
+from repro.service.jobs import JobManager
+from repro.service.store import GraphStore, graph_digest
+
+__all__ = [
+    "GraphStore",
+    "JobManager",
+    "PlacementCache",
+    "PlacementKey",
+    "ServiceApp",
+    "graph_digest",
+]

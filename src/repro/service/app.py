@@ -1,0 +1,485 @@
+"""The transport-free service core: request dicts in, (status, dict) out.
+
+:class:`ServiceApp` wires the three stateful layers together — GraphStore,
+PlacementCache, JobManager — and implements every endpoint as a plain
+method taking and returning JSON-compatible dicts.  The HTTP layer
+(:mod:`repro.service.http`) is a thin route table over these methods, and
+the tests exercise them directly without sockets.
+
+Placement flow, the heart of the service::
+
+    request ── key = (digest, algorithm, strategy, backend*, k, rng_seed)
+        │                                   (*resolved: never "auto")
+        ├─ exact cache hit ───────────────► 200, cached payload (free)
+        ├─ prefix hit (k' ≤ cached k) ────► 200, sliced + rescored payload
+        │                                   (one sweep; re-cached at k')
+        └─ miss ─► JobManager (deduped) ──► 202 + job id, or 200 after
+                                            blocking when "wait" was set
+
+Every computed payload is produced by :mod:`repro.service.serialize` —
+the same module the CLI's ``--json`` mode uses — so API responses are
+bit-identical to ``filter-placement place --json`` for the same request.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Hashable
+
+from repro.backends.registry import (
+    BACKEND_NAMES,
+    available_backends,
+    get_backend,
+    use_backend,
+)
+from repro.core.base import check_budget
+from repro.core.registry import (
+    STRATEGY_NAMES,
+    algorithm_catalog,
+    get_algorithm,
+)
+from repro.exceptions import ReproError
+from repro.graphs.cgraph import CGraph
+from repro.service.cache import PlacementCache, PlacementKey
+from repro.service.jobs import JobManager
+from repro.service.serialize import (
+    parse_filters,
+    placement_payload,
+    stats_payload,
+)
+from repro.service.store import GraphStore, build_graph_from_spec
+
+Node = Hashable
+
+#: Default ceiling on ``"wait": true`` blocking, seconds.
+DEFAULT_WAIT_TIMEOUT = 300.0
+
+
+class RequestError(ReproError):
+    """A request the service must answer with a 4xx status."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def execute_placement(
+    graph: CGraph,
+    algorithm: str,
+    strategy: str,
+    backend: str,
+    k: int,
+    rng_seed: int,
+    phi_constants: tuple[int, int] | None = None,
+) -> dict[str, Any]:
+    """Run one fully-specified placement and serialize it.
+
+    The single execution path behind cold misses in both pool modes: the
+    thread pool calls it on the resident graph, the process pool calls
+    :func:`execute_placement_from_spec` which rebuilds the graph first.
+    The ``use_backend`` scope (thread-local) covers algorithms that
+    resolve the backend internally rather than via their ``backend``
+    attribute.
+    """
+    instance = get_algorithm(algorithm, strategy=strategy, backend=backend)
+    with use_backend(backend):
+        result = instance.place(graph, k, rng=random.Random(rng_seed))
+    phi_empty, f_max = phi_constants if phi_constants else (None, None)
+    return placement_payload(
+        graph, result, phi_empty=phi_empty, f_max=f_max, backend=backend
+    )
+
+
+def execute_placement_from_spec(
+    spec: dict[str, Any],
+    algorithm: str,
+    strategy: str,
+    backend: str,
+    k: int,
+    rng_seed: int,
+) -> dict[str, Any]:
+    """Process-pool entry point: rebuild the graph, then place.
+
+    Module-level and driven by plain data so it pickles; the rebuilt
+    graph is discarded with the worker's memory once the payload returns.
+    """
+    graph = build_graph_from_spec(spec)
+    return execute_placement(graph, algorithm, strategy, backend, k, rng_seed)
+
+
+class ServiceApp:
+    """The placement service: graph store + result cache + worker pool."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        pool: str = "thread",
+        cache_entries: int = 1024,
+        cache_bytes: int = 32 * 1024 * 1024,
+        max_graphs: int | None = None,
+        warm_backends: bool = True,
+        wait_timeout: float = DEFAULT_WAIT_TIMEOUT,
+    ) -> None:
+        self.store = GraphStore(
+            max_graphs=max_graphs, warm_backends=warm_backends
+        )
+        self.cache = PlacementCache(
+            max_entries=cache_entries, max_bytes=cache_bytes
+        )
+        self.jobs = JobManager(workers=workers, pool=pool)
+        self.started_unix = time.time()
+        self.wait_timeout = wait_timeout
+        self._requests = 0
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut the worker pools down (idempotent)."""
+        self.jobs.shutdown(wait=False)
+
+    def _count_request(self) -> None:
+        with self._lock:
+            self._requests += 1
+
+    # ------------------------------------------------------------------
+    # Graphs
+    # ------------------------------------------------------------------
+
+    def handle_register_graph(
+        self, body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /graphs`` — register a dataset, edge list, or spec.
+
+        Body shapes (exactly one of ``dataset`` / ``edges``):
+
+        * ``{"dataset": "citation", "seed": 0, "scale": 0.1}``
+        * ``{"edges": "u v\\n...", "sources": [...], "prepare": false,
+          "initiator": ..., "name": "my-upload"}``
+
+        Responds 201 on first registration, 200 when the digest was
+        already resident (registration is idempotent).
+        """
+        self._count_request()
+        if not isinstance(body, dict):
+            raise RequestError("request body must be a JSON object")
+        has_dataset = "dataset" in body
+        has_edges = "edges" in body
+        if has_dataset == has_edges:
+            raise RequestError(
+                "provide exactly one of 'dataset' or 'edges'"
+            )
+        try:
+            if has_dataset:
+                seed = _require_int(body.get("seed", 0), "seed")
+                scale = body.get("scale")
+                if scale is not None and not isinstance(scale, (int, float)):
+                    raise RequestError("'scale' must be a number")
+                entry, created = self.store.register_dataset(
+                    body["dataset"],
+                    seed=seed,
+                    scale=None if scale is None else float(scale),
+                )
+            else:
+                if not isinstance(body["edges"], str):
+                    raise RequestError("'edges' must be an edge-list string")
+                sources = body.get("sources")
+                if sources is not None and not isinstance(sources, list):
+                    raise RequestError("'sources' must be a list of node ids")
+                entry, created = self.store.register_edges(
+                    body["edges"],
+                    name=str(body.get("name", "upload")),
+                    sources=sources,
+                    prepare=bool(body.get("prepare", False)),
+                    initiator=body.get("initiator"),
+                )
+        except RequestError:
+            raise
+        except ReproError as exc:
+            # Unknown dataset names, malformed edge lists, bad graph
+            # structure — all client errors, not server faults.
+            raise RequestError(str(exc)) from None
+        payload = entry.describe_payload()
+        payload["created"] = created
+        return (201 if created else 200), payload
+
+    def handle_list_graphs(self) -> tuple[int, dict[str, Any]]:
+        """``GET /graphs`` — every resident graph, LRU order."""
+        self._count_request()
+        return 200, {
+            "graphs": [e.describe_payload() for e in self.store.entries()]
+        }
+
+    def handle_graph_stats(self, digest: str) -> tuple[int, dict[str, Any]]:
+        """``GET /graphs/{digest}/stats`` — structural summary."""
+        self._count_request()
+        entry = self._get_entry(digest)
+        payload = stats_payload(entry.name, entry.stats())
+        payload["digest"] = entry.digest
+        return 200, payload
+
+    def _get_entry(self, digest: str):
+        try:
+            return self.store.get(digest)
+        except ReproError as exc:
+            raise RequestError(str(exc), status=404) from None
+
+    # ------------------------------------------------------------------
+    # Placements
+    # ------------------------------------------------------------------
+
+    def _placement_key(
+        self, body: dict[str, Any]
+    ) -> tuple[PlacementKey, Any]:
+        if not isinstance(body, dict):
+            raise RequestError("request body must be a JSON object")
+        digest = body.get("graph")
+        if not isinstance(digest, str):
+            raise RequestError("'graph' must be a graph digest string")
+        entry = self._get_entry(digest)
+        algorithm = body.get("algorithm", "G_All")
+        strategy = body.get("strategy", "exact")
+        backend = body.get("backend", "auto")
+        if strategy not in STRATEGY_NAMES:
+            known = ", ".join(STRATEGY_NAMES)
+            raise RequestError(
+                f"unknown strategy {strategy!r}; known strategies: {known}"
+            )
+        if backend not in BACKEND_NAMES:
+            known = ", ".join(BACKEND_NAMES)
+            raise RequestError(
+                f"unknown backend {backend!r}; known backends: {known}"
+            )
+        try:
+            # Validates the name and availability; resolves "auto" to the
+            # concrete backend so the cache never forks on spelling.
+            resolved = get_backend(backend).name
+            get_algorithm(algorithm, strategy=strategy)
+            k = _require_int(body.get("k"), "k")
+            check_budget(entry.graph, k)
+        except ReproError as exc:
+            raise RequestError(str(exc)) from None
+        rng_seed = _require_int(body.get("rng_seed", 0), "rng_seed")
+        key = PlacementKey(
+            digest=entry.digest,
+            algorithm=algorithm,
+            strategy=strategy,
+            backend=resolved,
+            k=k,
+            rng_seed=rng_seed,
+        )
+        return key, entry
+
+    @staticmethod
+    def _request_doc(key: PlacementKey) -> dict[str, Any]:
+        return {
+            "graph": key.digest,
+            "algorithm": key.algorithm,
+            "strategy": key.strategy,
+            "backend": key.backend,
+            "k": key.k,
+            "rng_seed": key.rng_seed,
+        }
+
+    def handle_placement(
+        self, body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """``POST /placements`` — cached answers inline, misses as jobs.
+
+        Responds 200 with the payload on an exact or prefix cache hit;
+        otherwise 202 with a job id (or 200 after blocking, when the body
+        sets ``"wait": true``).
+        """
+        self._count_request()
+        key, entry = self._placement_key(body)
+        request_doc = self._request_doc(key)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, {
+                "request": request_doc,
+                "cache": {"hit": True, "kind": "exact"},
+                "result": cached,
+            }
+
+        donor = self.cache.find_prefix_donor(key)
+        if donor is not None:
+            derived = self._derive_prefix(key, entry, donor[1])
+            return 200, {
+                "request": request_doc,
+                "cache": {"hit": True, "kind": "prefix"},
+                "result": derived,
+            }
+
+        # Validate the wait timeout before submitting: rejecting the
+        # request after the job is queued would run work the client was
+        # never told about.
+        timeout = body.get("timeout", self.wait_timeout)
+        if body.get("wait") and (
+            not isinstance(timeout, (int, float))
+            or isinstance(timeout, bool)
+            or timeout <= 0
+        ):
+            raise RequestError("'timeout' must be a positive number")
+        job, created = self.jobs.submit(
+            str(key), self._job_fn(key, entry)
+        )
+        if body.get("wait"):
+            if not job.wait(float(timeout)):
+                return 202, {
+                    "request": request_doc,
+                    "cache": {"hit": False},
+                    "job": job.describe(),
+                    "timed_out": True,
+                }
+            return self._job_response(job, request_doc)
+        return 202, {
+            "request": request_doc,
+            "cache": {"hit": False},
+            "job": job.describe(),
+            "deduplicated": not created,
+        }
+
+    def _job_fn(self, key: PlacementKey, entry):
+        """The closure a cache miss runs on the worker pool."""
+
+        def compute() -> dict[str, Any]:
+            if self.jobs.pool_kind == "process":
+                payload = self.jobs.dispatch(
+                    execute_placement_from_spec,
+                    entry.spec,
+                    key.algorithm,
+                    key.strategy,
+                    key.backend,
+                    key.k,
+                    key.rng_seed,
+                )
+            else:
+                payload = execute_placement(
+                    entry.graph,
+                    key.algorithm,
+                    key.strategy,
+                    key.backend,
+                    key.k,
+                    key.rng_seed,
+                    phi_constants=entry.phi_constants(),
+                )
+            self.cache.put(
+                key, payload,
+                prefix_consistent=bool(payload["prefix_consistent"]),
+            )
+            return payload
+
+        return compute
+
+    def _derive_prefix(
+        self, key: PlacementKey, entry, donor_payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Slice a cached larger-k payload down to ``key.k`` and rescore.
+
+        Greedy prefix consistency guarantees the sliced filter sequence is
+        exactly what a fresh ``k``-run would select; only the objective
+        numbers for the shorter prefix need one scoring sweep.  The
+        derived payload is cached under its own key, so repeats are pure
+        lookups.
+        """
+        filters = parse_filters(donor_payload["filters"][: key.k])
+        payload = dict(donor_payload)
+        payload["requested_k"] = key.k
+        payload["filters"] = donor_payload["filters"][: key.k]
+        payload["filters_found"] = len(filters)
+        payload["steps"] = donor_payload["steps"][: len(filters)]
+        phi_empty, f_max = entry.phi_constants()
+        from repro.core.objective import phi as phi_fn
+
+        phi_a = phi_fn(entry.graph, filters, backend=key.backend)
+        payload["phi_empty"] = phi_empty
+        payload["phi"] = phi_a
+        payload["objective"] = phi_empty - phi_a
+        payload["f_max"] = f_max
+        payload["filter_ratio"] = (
+            1.0 if f_max == 0 else (phi_empty - phi_a) / f_max
+        )
+        self.cache.put(key, payload, prefix_consistent=True)
+        return payload
+
+    def _job_response(
+        self, job, request_doc: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        doc: dict[str, Any] = {"job": job.describe()}
+        if request_doc is not None:
+            doc["request"] = request_doc
+        if job.state == "done":
+            doc["cache"] = {"hit": False, "kind": "computed"}
+            doc["result"] = job.payload
+            return 200, doc
+        if job.state == "failed":
+            return 500, doc
+        return 202, doc
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def handle_job(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        """``GET /jobs/{id}`` — state, plus the result once done."""
+        self._count_request()
+        try:
+            job = self.jobs.get(job_id)
+        except ReproError as exc:
+            raise RequestError(str(exc), status=404) from None
+        return self._job_response(job)
+
+    def handle_cancel_job(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        """``DELETE /jobs/{id}`` — cancel a still-queued job."""
+        self._count_request()
+        try:
+            job = self.jobs.get(job_id)
+        except ReproError as exc:
+            raise RequestError(str(exc), status=404) from None
+        cancelled = self.jobs.cancel(job_id)
+        return 200, {"job": job.describe(), "cancelled": cancelled}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def handle_algorithms(self) -> tuple[int, dict[str, Any]]:
+        """``GET /algorithms`` — the registry, with per-name capabilities."""
+        self._count_request()
+        return 200, {
+            "algorithms": algorithm_catalog(),
+            "strategies": list(STRATEGY_NAMES),
+            "backends": list(available_backends()),
+        }
+
+    def handle_healthz(self) -> tuple[int, dict[str, Any]]:
+        """``GET /healthz`` — liveness plus the numbers an operator wants."""
+        return 200, {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_unix, 3),
+            "requests": self._requests,
+            "graphs": len(self.store),
+            "cache": self.cache.stats(),
+            "jobs": self.jobs.counts(),
+            "pool": {
+                "kind": self.jobs.pool_kind,
+                "workers": self.jobs.workers,
+            },
+            "backends": list(available_backends()),
+        }
+
+    # ------------------------------------------------------------------
+    # Convenience (tests, bench)
+    # ------------------------------------------------------------------
+
+    def place_sync(self, body: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """``handle_placement`` with ``wait=True`` forced — test/bench sugar."""
+        return self.handle_placement({**body, "wait": True})
+
+
+def _require_int(value: Any, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"'{name}' must be an integer")
+    return value

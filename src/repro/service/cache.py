@@ -1,0 +1,189 @@
+"""The PlacementCache: LRU + size-bounded result cache with prefix reuse.
+
+Keys are the full request identity — ``(graph_digest, algorithm,
+strategy, backend, k, rng_seed)`` — where the backend is the *resolved*
+concrete name (``auto`` never appears: a NumPy answer requested as
+``auto`` and one requested as ``numpy`` are the same cell).
+
+Beyond exact hits, the cache exploits greedy **prefix consistency**: a
+cached ``k``-run of a prefix-consistent algorithm contains the answer to
+every ``k' ≤ k`` request as its first ``k'`` selections, so those misses
+are served by slicing instead of recomputing (one scoring sweep instead
+of a full run; the app layer then inserts the derived entry so repeats
+are pure lookups).  Non-prefix-consistent algorithms (the randomized
+baselines) only ever hit exactly.
+
+Eviction is LRU under two simultaneous bounds — entry count and total
+payload bytes (measured as canonical-JSON length) — so one giant
+placement cannot silently monopolize the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ParameterError
+from repro.service.serialize import canonical_dumps
+
+#: Default bound on cached entries.
+DEFAULT_MAX_ENTRIES = 1024
+
+#: Default bound on summed payload sizes (canonical-JSON bytes).
+DEFAULT_MAX_BYTES = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PlacementKey:
+    """The identity of one placement request."""
+
+    digest: str
+    algorithm: str
+    strategy: str
+    backend: str
+    k: int
+    rng_seed: int = 0
+
+    def cell(self) -> tuple[str, str, str, str, int]:
+        """The key minus ``k`` — the axis prefix reuse searches along."""
+        return (
+            self.digest,
+            self.algorithm,
+            self.strategy,
+            self.backend,
+            self.rng_seed,
+        )
+
+    def describe(self) -> str:
+        """Human-readable cell id (job listings, logs)."""
+        return (
+            f"{self.digest[:12]}/{self.algorithm}/{self.strategy}"
+            f"/{self.backend}/k{self.k}/rng{self.rng_seed}"
+        )
+
+
+@dataclass
+class _Entry:
+    key: PlacementKey
+    payload: dict[str, Any]
+    size: int
+    prefix_consistent: bool
+
+
+class PlacementCache:
+    """Thread-safe LRU cache of placement payloads with prefix reuse."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_entries < 1:
+            raise ParameterError("max_entries must be positive")
+        if max_bytes < 1:
+            raise ParameterError("max_bytes must be positive")
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._entries: OrderedDict[PlacementKey, _Entry] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.prefix_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed canonical-JSON size of all cached payloads."""
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: PlacementKey) -> dict[str, Any] | None:
+        """The cached payload for ``key``, or None (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.payload
+
+    def find_prefix_donor(
+        self, key: PlacementKey
+    ) -> tuple[PlacementKey, dict[str, Any]] | None:
+        """A cached same-cell run whose prefix answers ``key``.
+
+        Returns the smallest cached ``k'' ≥ key.k`` among prefix-consistent
+        entries of the same cell (smallest keeps the slice closest to the
+        request), or None.  Counts a ``prefix_hit`` when found.
+        """
+        cell = key.cell()
+        with self._lock:
+            best: _Entry | None = None
+            for entry in self._entries.values():
+                if not entry.prefix_consistent:
+                    continue
+                if entry.key.cell() != cell or entry.key.k < key.k:
+                    continue
+                if best is None or entry.key.k < best.key.k:
+                    best = entry
+            if best is None:
+                return None
+            self._entries.move_to_end(best.key)
+            self.prefix_hits += 1
+            return best.key, best.payload
+
+    def put(
+        self,
+        key: PlacementKey,
+        payload: dict[str, Any],
+        *,
+        prefix_consistent: bool,
+    ) -> None:
+        """Insert (or refresh) ``payload`` under ``key``, then evict LRU."""
+        size = len(canonical_dumps(payload))
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.size
+            self._entries[key] = _Entry(
+                key=key,
+                payload=payload,
+                size=size,
+                prefix_consistent=prefix_consistent,
+            )
+            self._bytes += size
+            while self._entries and (
+                len(self._entries) > self._max_entries
+                or self._bytes > self._max_bytes
+            ):
+                # Never evict the entry just inserted: an over-budget
+                # singleton would otherwise thrash forever.
+                victim_key = next(iter(self._entries))
+                if victim_key == key and len(self._entries) == 1:
+                    break
+                victim = self._entries.pop(victim_key)
+                self._bytes -= victim.size
+                self.evictions += 1
+
+    def stats(self) -> dict[str, Any]:
+        """Counters and occupancy, for ``/healthz`` and tests."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self._max_entries,
+                "max_bytes": self._max_bytes,
+                "hits": self.hits,
+                "prefix_hits": self.prefix_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,173 @@
+"""The stdlib HTTP JSON API over :class:`~repro.service.app.ServiceApp`.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, no third-party runtime dependency — with a route table that
+maps paths onto the app's handler methods:
+
+========  ==========================  ==========================================
+Method    Path                        Handler
+========  ==========================  ==========================================
+POST      ``/graphs``                 register a dataset / uploaded edge list
+GET       ``/graphs``                 list resident graphs
+GET       ``/graphs/{digest}/stats``  structural summary
+POST      ``/placements``             cached → 200, miss → 202 + job id
+GET       ``/jobs/{id}``              job state (+ result when done)
+DELETE    ``/jobs/{id}``              cancel a queued job
+GET       ``/algorithms``             registry catalog
+GET       ``/healthz``                liveness + operational counters
+========  ==========================  ==========================================
+
+Responses are ``application/json``; errors come back as
+``{"error": message}`` with 400/404/405/500 as appropriate.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.service.app import RequestError, ServiceApp
+
+#: Largest accepted request body (an edge-list upload), bytes.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class PlacementRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's :class:`ServiceApp`."""
+
+    server: "PlacementHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise RequestError("malformed Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes", status=413
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"malformed JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise RequestError("request body must be a JSON object")
+        return body
+
+    def _dispatch(self, fn: Callable[[], tuple[int, dict[str, Any]]]) -> None:
+        try:
+            status, payload = fn()
+        except RequestError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except Exception as exc:  # never leak a traceback to the socket
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        self._send_json(status, payload)
+
+    def _route(self, method: str) -> None:
+        app = self.server.app
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+
+        def not_found() -> tuple[int, dict[str, Any]]:
+            raise RequestError(f"no route for {method} {path}", status=404)
+
+        handler: Callable[[], tuple[int, dict[str, Any]]] = not_found
+        if parts == ["healthz"] and method == "GET":
+            handler = app.handle_healthz
+        elif parts == ["algorithms"] and method == "GET":
+            handler = app.handle_algorithms
+        elif parts == ["graphs"]:
+            if method == "POST":
+                body = self._read_body()
+                handler = lambda: app.handle_register_graph(body)  # noqa: E731
+            elif method == "GET":
+                handler = app.handle_list_graphs
+        elif len(parts) == 3 and parts[0] == "graphs" and parts[2] == "stats":
+            if method == "GET":
+                digest = parts[1]
+                handler = lambda: app.handle_graph_stats(digest)  # noqa: E731
+        elif parts == ["placements"]:
+            if method == "POST":
+                body = self._read_body()
+                handler = lambda: app.handle_placement(body)  # noqa: E731
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job_id = parts[1]
+            if method == "GET":
+                handler = lambda: app.handle_job(job_id)  # noqa: E731
+            elif method == "DELETE":
+                handler = lambda: app.handle_cancel_job(job_id)  # noqa: E731
+        self._dispatch(handler)
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            self._route("POST")
+        except RequestError as exc:  # body-read errors surface here
+            self._send_json(exc.status, {"error": str(exc)})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+
+class PlacementHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server owning one :class:`ServiceApp`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        app: ServiceApp,
+        address: tuple[str, int],
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.app = app
+        self.verbose = verbose
+        super().__init__(address, PlacementRequestHandler)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with an ephemeral ``port=0`` bind)."""
+        return self.server_address[1]
+
+
+def make_server(
+    app: ServiceApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+) -> PlacementHTTPServer:
+    """Bind (but do not start) the service's HTTP server.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`PlacementHTTPServer.port`.  Call ``serve_forever()`` to run —
+    the CLI's ``serve`` subcommand does — or drive it from a thread in
+    tests.
+    """
+    return PlacementHTTPServer(app, (host, port), verbose=verbose)

@@ -1,0 +1,260 @@
+"""The JobManager: cache misses on a worker pool, with deduplication.
+
+Every placement miss becomes a :class:`Job` with an id, a lifecycle
+(``queued → running → done | failed``, or ``cancelled`` while still
+queued), and a completion event callers can block on.  Submitting the
+same cache key while an identical job is queued or running returns the
+existing job — a thundering herd of identical requests performs the
+expensive computation exactly once.
+
+Two pool shapes, chosen at construction:
+
+* ``thread`` (default) — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  running jobs in-process against the resident graph.  Placement work on
+  big graphs is dominated by NumPy kernels and big-int arithmetic, both of
+  which release or sidestep the GIL well enough for serving.
+* ``process`` — jobs additionally dispatch their computation to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  The worker cannot
+  share the resident graph, so it rebuilds it from the entry's picklable
+  spec; worth it for long exact big-int runs that would otherwise pin the
+  serving process.  Coordinator threads still own the lifecycle, so
+  states, dedup and cancellation behave identically in both modes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Callable
+
+from repro.exceptions import ParameterError
+
+#: Legal pool kinds for :class:`JobManager`.
+POOL_KINDS: tuple[str, ...] = ("thread", "process")
+
+#: Job lifecycle states.
+JOB_STATES: tuple[str, ...] = (
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+)
+
+#: Finished jobs retained for ``GET /jobs/{id}`` before pruning.
+MAX_FINISHED_JOBS = 512
+
+_job_counter = itertools.count(1)
+
+
+class Job:
+    """One unit of placement work and its observable lifecycle."""
+
+    def __init__(self, job_id: str, key: str) -> None:
+        self.id = job_id
+        self.key = key
+        self.state = "queued"
+        self.created_unix = time.time()
+        self.started_unix: float | None = None
+        self.finished_unix: float | None = None
+        self.payload: dict[str, Any] | None = None
+        self.error: str | None = None
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._future: Future | None = None
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finishes (done/failed/cancelled)."""
+        return self._done.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def describe(self) -> dict[str, Any]:
+        """The job's JSON form for ``GET /jobs/{id}`` (sans payload)."""
+        with self._lock:
+            doc: dict[str, Any] = {
+                "id": self.id,
+                "key": self.key,
+                "state": self.state,
+                "created_unix": round(self.created_unix, 3),
+            }
+            if self.started_unix is not None:
+                doc["started_unix"] = round(self.started_unix, 3)
+            if self.finished_unix is not None:
+                doc["finished_unix"] = round(self.finished_unix, 3)
+            if self.error is not None:
+                doc["error"] = self.error
+            return doc
+
+    # -- transitions (called by the manager only) ----------------------
+
+    def _mark_running(self) -> bool:
+        with self._lock:
+            if self.state != "queued":
+                return False
+            self.state = "running"
+            self.started_unix = time.time()
+            return True
+
+    def _finish(self, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self.state = "done"
+            self.payload = payload
+            self.finished_unix = time.time()
+        self._done.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            self.state = "failed"
+            self.error = f"{type(exc).__name__}: {exc}"
+            self.finished_unix = time.time()
+        self._done.set()
+
+    def _mark_cancelled(self) -> bool:
+        with self._lock:
+            if self.state != "queued":
+                return False
+            self.state = "cancelled"
+            self.finished_unix = time.time()
+        self._done.set()
+        return True
+
+
+class JobManager:
+    """Runs placement jobs on a bounded pool with in-flight dedup."""
+
+    def __init__(self, *, workers: int = 4, pool: str = "thread") -> None:
+        if workers < 1:
+            raise ParameterError("workers must be positive")
+        if pool not in POOL_KINDS:
+            known = ", ".join(POOL_KINDS)
+            raise ParameterError(
+                f"unknown pool kind {pool!r}; known kinds: {known}"
+            )
+        self.pool_kind = pool
+        self.workers = workers
+        self._coordinator = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="placement-job"
+        )
+        self._process_pool: ProcessPoolExecutor | None = (
+            ProcessPoolExecutor(max_workers=workers)
+            if pool == "process"
+            else None
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._in_flight: dict[str, Job] = {}
+        self.submitted = 0
+        self.deduplicated = 0
+
+    def dispatch(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the process pool when configured, inline
+        otherwise.
+
+        Job closures route their computation through this so the same
+        closure works under both pool kinds; with ``pool="process"`` the
+        function and its arguments must be picklable (module-level
+        functions over plain data).
+        """
+        if self._process_pool is not None:
+            return self._process_pool.submit(fn, *args).result()
+        return fn(*args)
+
+    def submit(
+        self,
+        key: str,
+        fn: Callable[[], dict[str, Any]],
+    ) -> tuple[Job, bool]:
+        """Run ``fn`` on the pool under ``key``.
+
+        Returns ``(job, created)``; ``created=False`` means an identical
+        job was already queued or running and was returned instead —
+        the dedup guarantee.
+        """
+        with self._lock:
+            existing = self._in_flight.get(key)
+            if existing is not None and not existing.finished:
+                self.deduplicated += 1
+                return existing, False
+            job = Job(f"job-{next(_job_counter):06d}", key)
+            self._jobs[job.id] = job
+            self._in_flight[key] = job
+            self.submitted += 1
+            self._prune_finished_locked()
+
+        def run() -> None:
+            if not job._mark_running():
+                return  # cancelled while queued
+            try:
+                payload = fn()
+                job._finish(payload)
+            except BaseException as exc:  # report, never kill the worker
+                job._fail(exc)
+            finally:
+                with self._lock:
+                    if self._in_flight.get(key) is job:
+                        del self._in_flight[key]
+
+        job._future = self._coordinator.submit(run)
+        return job, True
+
+    def get(self, job_id: str) -> Job:
+        """The job registered under ``job_id``; raises on unknown ids."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ParameterError(f"unknown job id {job_id!r}")
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job; running jobs cannot be stopped.
+
+        Returns True when the job moved to ``cancelled``.
+        """
+        job = self.get(job_id)
+        future = job._future
+        if future is not None and future.cancel():
+            cancelled = job._mark_cancelled()
+            if cancelled:
+                with self._lock:
+                    if self._in_flight.get(job.key) is job:
+                        del self._in_flight[job.key]
+            return cancelled
+        return False
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state plus submit/dedup totals, for ``/healthz``."""
+        with self._lock:
+            per_state = dict.fromkeys(JOB_STATES, 0)
+            for job in self._jobs.values():
+                per_state[job.state] += 1
+            return {
+                **per_state,
+                "submitted": self.submitted,
+                "deduplicated": self.deduplicated,
+            }
+
+    def _prune_finished_locked(self) -> None:
+        finished = [j for j in self._jobs.values() if j.finished]
+        excess = len(finished) - MAX_FINISHED_JOBS
+        for job in finished[:max(0, excess)]:
+            del self._jobs[job.id]
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        self._coordinator.shutdown(wait=wait, cancel_futures=True)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,104 @@
+"""The one serializer for machine-readable placement and stats payloads.
+
+Both consumers import from here — the CLI's ``--json`` mode and the HTTP
+API — so "API results are bit-identical to ``place --json``" holds by
+construction rather than by parallel maintenance.  Payloads are plain
+JSON-compatible dicts; node ids appear as their ``repr`` (the convention
+``BENCH.json`` already uses), which keeps ints and strings distinguishable
+after a round-trip.
+
+Objective values are exact integers (the propagation model counts copies),
+so equality across backends and strategies is genuinely bit-level, not
+within-epsilon.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Collection, Hashable
+
+from repro.analysis.metrics import GraphStats
+from repro.core.base import PlacementResult
+from repro.core.objective import filter_ratio, max_objective, phi
+from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+
+def canonical_dumps(payload: Any) -> str:
+    """Deterministic JSON text: sorted keys, no incidental whitespace.
+
+    Two payloads are bit-identical iff their canonical dumps are equal;
+    the service's cache stores exactly this text for its hit path.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def placement_payload(
+    graph: CGraph,
+    result: PlacementResult,
+    *,
+    phi_empty: int | None = None,
+    f_max: int | None = None,
+    backend: Any = None,
+) -> dict[str, Any]:
+    """The machine-readable form of one placement run.
+
+    ``phi_empty`` / ``f_max`` are the per-graph constants ``Φ(∅)`` and
+    ``F(V)``; passing them (the service's GraphStore caches both) saves
+    two full propagation sweeps per call.
+    """
+    if phi_empty is None:
+        phi_empty = phi(graph, (), backend=backend)
+    if f_max is None:
+        f_max = max_objective(graph, phi_empty=phi_empty, backend=backend)
+    phi_a = phi(graph, result.filters, backend=backend)
+    objective = phi_empty - phi_a
+    fr = filter_ratio(
+        graph, result.filters, phi_empty=phi_empty, f_max=f_max,
+        backend=backend,
+    )
+    return {
+        "algorithm": result.algorithm,
+        "requested_k": result.requested_k,
+        "filters": [repr(v) for v in result.filters],
+        "filters_found": len(result.filters),
+        "prefix_consistent": result.prefix_consistent,
+        "steps": [
+            {"node": repr(step.node), "gain": step.gain}
+            for step in result.steps
+        ],
+        "phi_empty": phi_empty,
+        "phi": phi_a,
+        "objective": objective,
+        "f_max": f_max,
+        "filter_ratio": fr,
+    }
+
+
+def stats_payload(name: str, stats: GraphStats) -> dict[str, Any]:
+    """The machine-readable form of ``filter-placement stats``."""
+    return {
+        "name": name,
+        "nodes": stats.nodes,
+        "edges": stats.edges,
+        "sources": stats.sources,
+        "sinks": stats.sinks,
+        "sink_fraction": stats.sink_fraction,
+        "indegree_one_fraction": stats.indegree_one_fraction,
+        "merge_nodes": stats.merge_nodes,
+        "max_in_degree": stats.max_in_degree,
+        "max_out_degree": stats.max_out_degree,
+        "is_dag": stats.is_dag,
+    }
+
+
+def parse_filters(filters: Collection[str]) -> tuple[Node, ...]:
+    """Invert the ``repr`` encoding of a payload's filter list.
+
+    Only the reprs this library emits (ints and strings) are accepted —
+    this is a format decoder, not an eval.
+    """
+    import ast
+
+    return tuple(ast.literal_eval(f) for f in filters)
