@@ -15,9 +15,12 @@ Contract (shared by all backends, enforced by the equivalence tests):
 * Dict results are keyed by node id with plain Python ``int`` values, so
   downstream tie-breaking, serialization and comparisons behave identically
   regardless of backend.
-* Backends are stateless with respect to *results*; they may cache derived
-  per-graph data (levelizations, index maps) because :class:`CGraph` is
-  immutable.
+* Backends are stateless with respect to *results*; per-graph derived
+  data lives in the shared compiled view
+  (:meth:`repro.graphs.cgraph.CGraph.compiled`), which every backend
+  consumes instead of building private index maps.  A backend may cache
+  only representation-specific adapters over it (the NumPy backend's
+  level groupings), never a second copy of the structure.
 
 Beyond the one-shot sweep queries, every backend also offers an
 **incremental impact path**: :meth:`PropagationBackend.gain_session`
@@ -44,7 +47,7 @@ Use :func:`repro.backends.registry.get_backend` /
 
 from __future__ import annotations
 
-from collections.abc import Collection, Mapping
+from collections.abc import Collection, Iterable, Mapping, Sequence
 from typing import Hashable, Protocol, runtime_checkable
 
 from repro.graphs.cgraph import CGraph
@@ -106,6 +109,25 @@ class GainSession(Protocol):
         """
         ...  # pragma: no cover
 
+    # -- id fast path ---------------------------------------------------
+    # Mirrors of the three methods above over the compiled view's
+    # interned ids (:meth:`repro.graphs.cgraph.CGraph.compiled`): a gain
+    # list indexed by id, an O(1) id read, and an id-returning update.
+    # The optimizers (CELF) drive sessions exclusively through these so
+    # node objects appear only at the PlacementResult boundary.
+
+    def gains_ids(self) -> "Sequence[int]":
+        """All current gains as a list indexed by interned node id."""
+        ...  # pragma: no cover
+
+    def gain_id(self, node_id: int) -> int:
+        """The current exact gain of one interned id — an O(1) read."""
+        ...  # pragma: no cover
+
+    def add_filter_id(self, node_id: int) -> "Collection[int]":
+        """Place an interned id; return the ids whose gains changed."""
+        ...  # pragma: no cover
+
 
 @runtime_checkable
 class PropagationBackend(Protocol):
@@ -148,6 +170,30 @@ class PropagationBackend(Protocol):
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
         """``Greedy_L``'s ``I'(v) = Prefix(v) × dout(v)`` under ``A``."""
+        ...  # pragma: no cover
+
+    # -- id fast path ---------------------------------------------------
+    # The greedy family evaluates gains thousands of times per run; the
+    # id variants skip the node-keyed dict boundary entirely and return
+    # flat lists indexed by interned id (= ``graph.nodes()`` rank, so an
+    # index compare doubles as the canonical tie-break).  ``filter_ids``
+    # must be valid ids of ``graph.compiled()`` — the node-keyed entry
+    # points remain the validating surface.
+
+    def marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ) -> "Sequence[int]":
+        """``I(v | A)`` as a list indexed by interned node id."""
+        ...  # pragma: no cover
+
+    def simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ) -> "Sequence[int]":
+        """``I'(v)`` as a list indexed by interned node id."""
         ...  # pragma: no cover
 
     def gain_session(

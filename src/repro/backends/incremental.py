@@ -17,11 +17,13 @@ filter ``f`` perturbs the sweeps only *locally*:
   recomputed value is unchanged.
 
 :class:`ExactGainSession` maintains ``ψ_s``, ``W``, the per-node surplus
-``Σ_s max(ψ_s(v) − 1, 0)`` and the gains ``I(v | A)`` as plain Python
-big integers, and :meth:`ExactGainSession.add_filter` walks exactly the
-affected region: a worklist ordered by topological index (a heap), so
-every node is finalized after all of its perturbed parents — the same
-guarantee the full sweep gets from whole-order traversal.
+``Σ_s max(ψ_s(v) − 1, 0)`` and the gains ``I(v | A)`` as flat lists over
+the compiled view's interned ids (plain Python big integers), and
+:meth:`ExactGainSession.add_filter_id` walks exactly the affected region:
+a worklist ordered by the compiled topological index (a heap), so every
+node is finalized after all of its perturbed parents — the same guarantee
+the full sweep gets from whole-order traversal.  Node objects appear only
+at the session's public boundary (:meth:`gains`, :meth:`add_filter`).
 
 This is the ``python`` backend's :class:`~repro.backends.base.GainSession`
 implementation, the semantic reference for the vectorized session in
@@ -45,7 +47,7 @@ Node = Hashable
 class ExactGainSession:
     """Arbitrary-precision incremental gains for a growing filter set.
 
-    State per node ``v`` (all exact integers):
+    State per interned node id ``v`` (all exact integers):
 
     * ``ψ_s(v)`` for every source ``s`` — copies of ``s``'s item received;
     * ``W(v)`` — downstream receipts created per extra emitted copy;
@@ -56,45 +58,50 @@ class ExactGainSession:
     backend_name = "python"
 
     def __init__(self, graph: CGraph, filters: Collection[Node] = ()) -> None:
-        from repro.core.impact import absorbing_suffix
-        from repro.propagation.engine import item_receipts
+        from repro.core.impact import absorbing_suffix_ids
+        from repro.propagation.engine import item_receipts_ids
 
         if not graph.sources:
             raise MissingSourceError("graph has no sources")
         filter_set = set(filters)
         validate_filter_set(graph, filter_set)
 
-        self._graph = graph
-        self._filters: set[Node] = filter_set
-        order = graph.topological_order()
-        self._topo_index = {v: i for i, v in enumerate(order)}
+        compiled = graph.compiled()
+        self._compiled = compiled
+        mask = compiled.filter_mask(
+            compiled.index[v] for v in filter_set
+        )
+        self._mask = mask
         self._nodes_touched = 0
 
         # Full initial sweep: one W pass plus one ψ pass per source — the
         # same cost as a single marginal_gains evaluation.
-        self._w = absorbing_suffix(graph, filter_set, _order=order)
-        self._psi: dict[Node, dict[Node, int]] = {
-            s: item_receipts(graph, s, filter_set, _order=order)
-            for s in graph.sources
+        self._w = absorbing_suffix_ids(compiled, mask)
+        self._psi: dict[int, list[int]] = {
+            s: item_receipts_ids(compiled, s, mask)
+            for s in compiled.source_ids
         }
-        surplus: dict[Node, int] = dict.fromkeys(graph.nodes(), 0)
+        surplus = [0] * compiled.n
         for psi in self._psi.values():
-            for v, count in psi.items():
+            for v, count in enumerate(psi):
                 if count > 1:
                     surplus[v] += count - 1
         self._surplus = surplus
-        self._gains: dict[Node, int] = {
-            v: 0 if v in filter_set else surplus[v] * self._w[v]
-            for v in graph.nodes()
-        }
+        w = self._w
+        self._gains = [
+            0 if mask[v] else surplus[v] * w[v] for v in range(compiled.n)
+        ]
 
     # ------------------------------------------------------------------
-    # GainSession interface
+    # GainSession interface (node boundary)
     # ------------------------------------------------------------------
 
     @property
     def filters(self) -> frozenset[Node]:
-        return frozenset(self._filters)
+        nodes = self._compiled.nodes
+        return frozenset(
+            nodes[v] for v, flagged in enumerate(self._mask) if flagged
+        )
 
     @property
     def nodes_touched(self) -> int:
@@ -102,53 +109,71 @@ class ExactGainSession:
 
     def gains(self) -> dict[Node, int]:
         """All current ``I(v | A)``, keyed in ``graph.nodes()`` order."""
-        return dict(self._gains)
+        return dict(zip(self._compiled.nodes, self._gains))
 
     def gain(self, node: Node) -> int:
-        """Current exact ``I(node | A)`` — one dict read."""
-        return self._gains[node]
+        """Current exact ``I(node | A)`` — one list read."""
+        return self._gains[self._compiled.to_id(node)]
 
     def add_filter(self, node: Node) -> frozenset[Node]:
         """Place ``node``; walk the affected region; return changed nodes."""
-        if node not in self._graph:
+        changed = self.add_filter_id(self._compiled.to_id(node))
+        nodes = self._compiled.nodes
+        return frozenset(nodes[v] for v in changed)
+
+    # ------------------------------------------------------------------
+    # GainSession interface (id fast path)
+    # ------------------------------------------------------------------
+
+    def gains_ids(self) -> list[int]:
+        """All current gains as a fresh list indexed by interned id."""
+        return list(self._gains)
+
+    def gain_id(self, node_id: int) -> int:
+        """Current exact gain of one interned id — one list read."""
+        return self._gains[node_id]
+
+    def add_filter_id(self, node_id: int) -> tuple[int, ...]:
+        """Place an interned id; return the changed ids."""
+        mask = self._mask
+        if node_id < 0 or node_id >= self._compiled.n:
             from repro.exceptions import MissingNodeError
 
-            raise MissingNodeError(node)
-        if node in self._filters:
-            raise ParameterError(f"node {node!r} is already a filter")
+            raise MissingNodeError(node_id)
+        if mask[node_id]:
+            raise ParameterError(
+                f"node {self._compiled.nodes[node_id]!r} is already a filter"
+            )
 
-        affected: set[Node] = {node}
+        affected: set[int] = {node_id}
 
-        # ψ deltas propagate only for items whose emission at ``node``
-        # actually moves: it drops from ψ_s(node) to min(ψ_s(node), 1),
-        # and a source's own emission is pinned at 1 and never changes.
+        # ψ deltas propagate only for items whose emission at ``node_id``
+        # actually moves: it drops from ψ_s to min(ψ_s, 1), and a source's
+        # own emission is pinned at 1 and never changes.
         seeds = [
             origin
             for origin, psi in self._psi.items()
-            if self._emission(origin, node, psi[node], is_filter=False)
-            != self._emission(origin, node, psi[node], is_filter=True)
+            if origin != node_id and psi[node_id] > 1
         ]
-        self._filters.add(node)
+        mask[node_id] = 1
         for origin in seeds:
-            self._forward_update(origin, node, affected)
-        # W deltas: upstream of ``node``.  Each parent's term for child
-        # ``node`` collapses from 1 + W(node) to 1 — a change only when
-        # W(node) > 0.
-        if self._w[node] > 0:
-            self._backward_update(node, affected)
+            self._forward_update(origin, node_id, affected)
+        # W deltas: upstream of ``node_id``.  Each parent's term for this
+        # child collapses from 1 + W to 1 — a change only when W > 0.
+        if self._w[node_id] > 0:
+            self._backward_update(node_id, affected)
 
+        gains, surplus, w = self._gains, self._surplus, self._w
         for v in affected:
-            self._gains[v] = (
-                0 if v in self._filters else self._surplus[v] * self._w[v]
-            )
-        return frozenset(affected)
+            gains[v] = 0 if mask[v] else surplus[v] * w[v]
+        return tuple(affected)
 
     # ------------------------------------------------------------------
     # Region walks
     # ------------------------------------------------------------------
 
     def _emission(
-        self, origin: Node, v: Node, received: int, *, is_filter: bool
+        self, origin: int, v: int, received: int, *, is_filter: bool
     ) -> int:
         """Copies ``v`` emits per out-edge for ``origin``'s item."""
         if v == origin:
@@ -158,7 +183,7 @@ class ExactGainSession:
         return received
 
     def _forward_update(
-        self, origin: Node, start: Node, affected: set[Node]
+        self, origin: int, start: int, affected: set[int]
     ) -> None:
         """Re-settle ``ψ_origin`` downstream of ``start`` (just filtered).
 
@@ -166,31 +191,33 @@ class ExactGainSession:
         recomputed only after every perturbed parent has been finalized —
         parents always carry smaller indices than their children.
         """
-        graph = self._graph
-        topo_index = self._topo_index
-        filters = self._filters
+        compiled = self._compiled
+        succ, pred = compiled.succ_ids, compiled.pred_ids
+        topo_index = compiled.topo_index
+        mask = self._mask
         psi = self._psi[origin]
-        heap: list[tuple[int, Node]] = []
-        queued: set[Node] = set()
-        for child in graph.successors(start):
+        heap: list[tuple[int, int]] = []
+        queued: set[int] = set()
+        for child in succ[start]:
             heapq.heappush(heap, (topo_index[child], child))
             queued.add(child)
         while heap:
             _, v = heapq.heappop(heap)
             self._nodes_touched += 1
             new_received = 0
-            for p in graph.predecessors(v):
+            for p in pred[v]:
                 new_received += self._emission(
-                    origin, p, psi[p], is_filter=p in filters
+                    origin, p, psi[p], is_filter=bool(mask[p])
                 )
             old_received = psi[v]
             if new_received == old_received:
                 continue
+            is_filter = bool(mask[v])
             old_emit = self._emission(
-                origin, v, old_received, is_filter=v in filters
+                origin, v, old_received, is_filter=is_filter
             )
             new_emit = self._emission(
-                origin, v, new_received, is_filter=v in filters
+                origin, v, new_received, is_filter=is_filter
             )
             psi[v] = new_received
             self._surplus[v] += max(new_received - 1, 0) - max(
@@ -198,40 +225,41 @@ class ExactGainSession:
             )
             affected.add(v)
             if old_emit != new_emit:
-                for child in graph.successors(v):
+                for child in succ[v]:
                     if child not in queued:
                         heapq.heappush(heap, (topo_index[child], child))
                         queued.add(child)
 
-    def _backward_update(self, start: Node, affected: set[Node]) -> None:
+    def _backward_update(self, start: int, affected: set[int]) -> None:
         """Re-settle ``W`` upstream of ``start`` (already in ``A``).
 
         Mirror image of the forward walk: reverse topological order via a
         max-heap on the topological index, so a node is recomputed after
         all of its perturbed children.
         """
-        graph = self._graph
-        topo_index = self._topo_index
-        filters = self._filters
+        compiled = self._compiled
+        succ, pred = compiled.succ_ids, compiled.pred_ids
+        topo_index = compiled.topo_index
+        mask = self._mask
         w = self._w
-        heap: list[tuple[int, Node]] = []
-        queued: set[Node] = set()
-        for parent in graph.predecessors(start):
+        heap: list[tuple[int, int]] = []
+        queued: set[int] = set()
+        for parent in pred[start]:
             heapq.heappush(heap, (-topo_index[parent], parent))
             queued.add(parent)
         while heap:
             _, v = heapq.heappop(heap)
             self._nodes_touched += 1
             new_w = 0
-            for u in graph.successors(v):
+            for u in succ[v]:
                 new_w += 1
-                if u not in filters:
+                if not mask[u]:
                     new_w += w[u]
             if new_w == w[v]:
                 continue
             w[v] = new_w
             affected.add(v)
-            for parent in graph.predecessors(v):
+            for parent in pred[v]:
                 if parent not in queued:
                     heapq.heappush(heap, (-topo_index[parent], parent))
                     queued.add(parent)

@@ -3,9 +3,11 @@
 Strategy
 --------
 The exact engine walks the topological order node by node, per source, in
-Python.  This backend levelizes the DAG **once per graph** (level = longest
-path from any root, so every edge crosses strictly upward) and then runs
-every sweep as a handful of array operations per level:
+Python.  This backend reuses the **shared compiled view**'s levelization
+(:meth:`repro.graphs.cgraph.CGraph.compiled`: level = longest path from
+any root, so every edge crosses strictly upward), adapts its CSR arrays
+to ndarrays once per graph, and then runs every sweep as a handful of
+array operations per level:
 
 * **Forward ψ pass** — all sources at once.  ``psi`` is a
   ``(num_sources, num_nodes)`` int64 matrix; for each level the emission
@@ -35,9 +37,8 @@ the two paths either way.
 
 from __future__ import annotations
 
-import itertools
 import math
-from collections.abc import Collection, Mapping
+from collections.abc import Collection, Iterable, Mapping
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
@@ -105,8 +106,21 @@ class _Level:
 
 @dataclass
 class _Plan:
-    """Immutable per-graph preprocessing for the vectorized sweeps."""
+    """Per-graph adapter over the shared compiled view.
 
+    Since the compile-once refactor this is a *thin* layer: the CSR
+    arrays, degree tables, depth/level partition and source indices are
+    all views of :class:`~repro.graphs.compiled.CompiledGraph` data
+    (converted to ndarrays once); the only genuinely backend-private
+    state is the per-level ``reduceat`` edge groupings and the overflow
+    probe's bounds.
+    """
+
+    # The plan deliberately holds no reference to the CompiledGraph (or
+    # CGraph) it adapts: the backend's plan cache is weak-keyed by graph,
+    # and a value that reached back to its key would pin both alive
+    # forever.  ``index``/``node_list`` alias the compiled view's tables,
+    # which reference node objects only.
     index: dict[Node, int]
     node_list: tuple[Node, ...]
     sources: tuple[Node, ...]
@@ -188,81 +202,57 @@ class NumpyBackend:
         return np.cumsum(steps)
 
     def _build_plan(self, graph: CGraph) -> _Plan:
+        """Adapt the shared compiled view for the vectorized sweeps.
+
+        All structure — CSR arrays, degrees, the level partition — comes
+        straight from :meth:`CGraph.compiled`; this method only converts
+        the tables to ndarrays and derives the per-level ``reduceat``
+        edge groupings the batched sweeps scatter with.  The former
+        private builder (dict walks, Kahn levelization, cycle check) is
+        gone: one graph, one plan.
+        """
         np = self._np
-        nodes = graph.nodes()
-        n = len(nodes)
-        index = {v: i for i, v in enumerate(nodes)}
-        sources = tuple(sorted(graph.sources, key=index.__getitem__))
-        plan = _Plan(index=index, node_list=nodes, sources=sources)
-
-        # Edge arrays in CSR order (successors are already grouped by
-        # source node); the only per-edge Python work is the id lookup.
-        succ_lists = [graph.successors(v) for v in nodes]
-        counts = np.array([len(s) for s in succ_lists], dtype=np.intp)
-        src = np.repeat(np.arange(n, dtype=np.intp), counts)
-        dst = np.array(
-            list(
-                map(
-                    index.__getitem__,
-                    itertools.chain.from_iterable(succ_lists),
-                )
-            ),
-            dtype=np.intp,
-        ) if int(counts.sum()) else np.empty(0, dtype=np.intp)
-        plan.out_degree = counts.astype(np.int64)
-        offsets = np.concatenate(
-            ([0], np.cumsum(counts))
-        ).astype(np.intp)
-        plan.out_offsets = offsets
-        plan.out_dst = dst
-        # Global in-CSR (edges grouped by destination) — the incremental
-        # gain session recomputes a node's receipts from all its parents.
-        in_counts = np.bincount(dst, minlength=n)
-        plan.in_offsets = np.concatenate(
-            ([0], np.cumsum(in_counts))
-        ).astype(np.intp)
-        plan.in_src = src[np.argsort(dst, kind="stable")]
-
-        # Kahn-by-wavefronts: each round's ready set is exactly the nodes
-        # whose longest path from any root has the round's length, so this
-        # levelizes and cycle-checks in one pass of vectorized rounds.
-        indeg = in_counts.copy()
-        depth = np.zeros(n, dtype=np.intp)
-        frontier = np.flatnonzero(indeg == 0)
-        processed = 0
-        level = 0
-        while frontier.size:
-            depth[frontier] = level
-            processed += int(frontier.size)
-            edge_ids = self._multi_arange(offsets[frontier], counts[frontier])
-            if edge_ids.size == 0:
-                break
-            decrements = np.bincount(dst[edge_ids], minlength=n)
-            indeg -= decrements
-            frontier = np.flatnonzero((decrements > 0) & (indeg == 0))
-            level += 1
-        if processed != n:
+        compiled = graph.compiled()
+        if not compiled.is_dag:
             from repro.exceptions import CyclicGraphError
 
             raise CyclicGraphError("graph contains a directed cycle")
+        nodes = compiled.nodes
+        n = compiled.n
+        index = compiled.index
+        sources = tuple(nodes[i] for i in compiled.source_ids)
+        plan = _Plan(index=index, node_list=nodes, sources=sources)
 
-        num_levels = int(depth.max()) + 1 if n else 0
+        counts = np.array(compiled.out_degree, dtype=np.intp)
+        src = np.repeat(np.arange(n, dtype=np.intp), counts)
+        dst = np.array(compiled.out_targets, dtype=np.intp)
+        plan.out_degree = counts.astype(np.int64)
+        plan.out_offsets = np.array(compiled.out_offsets, dtype=np.intp)
+        plan.out_dst = dst
+        # Global in-CSR (edges grouped by destination) — the incremental
+        # gain session recomputes a node's receipts from all its parents.
+        plan.in_offsets = np.array(compiled.in_offsets, dtype=np.intp)
+        plan.in_src = np.array(compiled.in_sources, dtype=np.intp)
+
+        num_levels = compiled.num_levels
+        depth = np.array(compiled.depth, dtype=np.intp)
         plan.depth = depth
         plan.num_levels = num_levels
-        nodes_by_level = np.argsort(depth, kind="stable")
-        level_starts = np.searchsorted(
-            depth[nodes_by_level], np.arange(num_levels + 1)
-        )
+        # compiled.topo_order is sorted by (depth, id) — exactly the
+        # stable by-level node grouping, with the level partition already
+        # computed.
+        nodes_by_level = np.array(compiled.topo_order, dtype=np.intp)
+        level_starts = np.array(compiled.level_offsets, dtype=np.intp)
         local_pos = np.empty(n, dtype=np.intp)
         local_pos[nodes_by_level] = (
             np.arange(n, dtype=np.intp) - level_starts[depth[nodes_by_level]]
         )
-        edge_level = depth[src]
+        edge_level = depth[src] if src.size else np.empty(0, dtype=np.intp)
         edges_by_level = np.argsort(edge_level, kind="stable")
         edge_level_starts = np.searchsorted(
             edge_level[edges_by_level], np.arange(num_levels + 1)
         )
-        source_idx = [index[s] for s in sources]
+        source_idx = list(compiled.source_ids)
         col_to_row = np.full(n, -1, dtype=np.intp)
         for row, si in enumerate(source_idx):
             col_to_row[si] = row
@@ -371,6 +361,31 @@ class NumpyBackend:
         for v in filters:
             mask[plan.index[v]] = True
         return mask
+
+    def _mask_from_ids(self, plan: _Plan, filter_ids: Iterable[int]) -> Any:
+        np = self._np
+        mask = np.zeros(plan.n, dtype=bool)
+        ids = list(filter_ids)
+        if ids:
+            # Negative ids would wrap (ndarray indexing) and silently
+            # filter the wrong node; reject them like the id sessions do.
+            if min(ids) < 0 or max(ids) >= plan.n:
+                from repro.exceptions import MissingNodeError
+
+                raise MissingNodeError(min(ids) if min(ids) < 0 else max(ids))
+            mask[ids] = True
+        return mask
+
+    def _gains_array(self, plan: _Plan, mask: Any) -> Any:
+        """``I(v | A)`` as an int64 array for a prepared boolean mask."""
+        np = self._np
+        psi = self._psi_matrix(plan, mask)
+        w = self._suffix_vector(plan, mask)
+        surplus = psi - 1
+        np.maximum(surplus, 0, out=surplus)
+        gains = surplus.sum(axis=0) * w
+        gains[mask] = 0
+        return gains
 
     def _psi_matrix(self, plan: _Plan, mask: Any) -> Any:
         """``ψ`` for all sources at once: shape ``(num_sources, n)``."""
@@ -497,15 +512,22 @@ class NumpyBackend:
         plan = self.plan_for(graph)
         if plan.exact_only:
             return self._exact.marginal_gains(graph, filter_set)
-        np = self._np
-        mask = self._filter_mask(plan, filter_set)
-        psi = self._psi_matrix(plan, mask)
-        w = self._suffix_vector(plan, mask)
-        surplus = psi - 1
-        np.maximum(surplus, 0, out=surplus)
-        gains = surplus.sum(axis=0) * w
-        gains[mask] = 0
+        gains = self._gains_array(plan, self._filter_mask(plan, filter_set))
         return dict(zip(plan.node_list, gains.tolist()))
+
+    def marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ) -> list[int]:
+        """``I(v | A)`` as a flat list over interned ids, vectorized."""
+        if not graph.sources:
+            raise MissingSourceError("graph has no sources")
+        plan = self.plan_for(graph)
+        if plan.exact_only:
+            return self._exact.marginal_gains_ids(graph, filter_ids)
+        gains = self._gains_array(plan, self._mask_from_ids(plan, filter_ids))
+        return gains.tolist()
 
     def simplified_impacts(
         self,
@@ -522,8 +544,21 @@ class NumpyBackend:
         scores = psi.sum(axis=0) * plan.out_degree
         return dict(zip(plan.node_list, scores.tolist()))
 
+    def simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ) -> list[int]:
+        """``I'(v)`` as a flat list over interned ids, vectorized."""
+        plan = self.plan_for(graph)
+        if plan.exact_only:
+            return self._exact.simplified_impacts_ids(graph, filter_ids)
+        psi = self._psi_matrix(plan, self._mask_from_ids(plan, filter_ids))
+        scores = psi.sum(axis=0) * plan.out_degree
+        return scores.tolist()
+
     def warm(self, graph: CGraph) -> None:
-        """Build (and cache) the levelization plan outside timed regions."""
+        """Adapt (and cache) the shared compiled plan outside timed regions."""
         self.plan_for(graph)
 
 
@@ -610,7 +645,6 @@ class NumpyGainSession:
 
     def add_filter(self, node: Node) -> frozenset[Node]:
         """Place ``node``; re-settle dirty columns; return changed nodes."""
-        np = self._np
         plan = self._plan
         try:
             i = plan.index[node]
@@ -618,10 +652,33 @@ class NumpyGainSession:
             from repro.exceptions import MissingNodeError
 
             raise MissingNodeError(node) from None
+        return frozenset(
+            plan.node_list[j] for j in self.add_filter_id(i)
+        )
+
+    def gains_ids(self) -> list[int]:
+        """All current gains as a fresh list indexed by interned id."""
+        return self._gains.tolist()
+
+    def gain_id(self, node_id: int) -> int:
+        """Current exact gain of one interned id — one array read."""
+        return int(self._gains[node_id])
+
+    def add_filter_id(self, node_id: int) -> list[int]:
+        """Place an interned id; re-settle dirty columns; return changed ids."""
+        np = self._np
+        plan = self._plan
+        i = node_id
+        if i < 0 or i >= plan.n:
+            from repro.exceptions import MissingNodeError
+
+            raise MissingNodeError(node_id)
         if self._mask[i]:
             from repro.exceptions import ParameterError
 
-            raise ParameterError(f"node {node!r} is already a filter")
+            raise ParameterError(
+                f"node {plan.node_list[i]!r} is already a filter"
+            )
 
         mask, psi, emit, w = self._mask, self._psi, self._emit, self._w
         mask[i] = True
@@ -653,7 +710,7 @@ class NumpyGainSession:
         new_gains = self._surplus[idx] * w[idx]
         new_gains[mask[idx]] = 0
         self._gains[idx] = new_gains
-        return frozenset(plan.node_list[j] for j in idx.tolist())
+        return idx.tolist()
 
     # ------------------------------------------------------------------
     # Wavefronts

@@ -1,10 +1,11 @@
 """The exact arbitrary-precision backend.
 
-Thin adapter over the original sweep implementations in
+Thin adapter over the sweep implementations in
 :mod:`repro.propagation.engine`, :mod:`repro.core.impact` and
-:mod:`repro.core.greedy_l` — per-source Python dict loops over the
-topological order, with native big integers, so results are exact no
-matter how explosively path counts grow.
+:mod:`repro.core.greedy_l` — per-source index loops over the compiled
+view's cached topological order (flat lists, interned ids), with native
+big integers, so results are exact no matter how explosively path counts
+grow.
 
 This backend is the semantic reference: every other backend must agree
 with it bit-for-bit, and the fast backends delegate to it whenever their
@@ -13,7 +14,7 @@ representable range is at risk.
 
 from __future__ import annotations
 
-from collections.abc import Collection, Mapping
+from collections.abc import Collection, Iterable, Mapping
 from typing import Hashable
 
 from repro.graphs.cgraph import CGraph
@@ -71,6 +72,16 @@ class PythonBackend:
 
         return marginal_gains_exact(graph, filters)
 
+    def marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ) -> list[int]:
+        """``I(v | A)`` as a flat list over interned ids — index sweeps."""
+        from repro.core.impact import marginal_gains_ids_exact
+
+        return marginal_gains_ids_exact(graph, filter_ids)
+
     def simplified_impacts(
         self,
         graph: CGraph,
@@ -82,6 +93,16 @@ class PythonBackend:
         filter_set = set(filters)
         validate_filter_set(graph, filter_set)
         return simplified_impacts_exact(graph, filter_set)
+
+    def simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ) -> list[int]:
+        """``I'(v)`` as a flat list over interned ids — index sweeps."""
+        from repro.core.greedy_l import simplified_impacts_ids_exact
+
+        return simplified_impacts_ids_exact(graph, filter_ids)
 
     def gain_session(
         self,
@@ -99,8 +120,10 @@ class PythonBackend:
         return ExactGainSession(graph, filters)
 
     def warm(self, graph: CGraph) -> None:
-        """Precompute the graph-cached topological order.
+        """Build (and cache) the shared compiled view.
 
-        The exact sweeps' only per-graph preprocessing.
+        The exact sweeps' only per-graph preprocessing — the same
+        :class:`~repro.graphs.compiled.CompiledGraph` every other layer
+        shares.
         """
-        graph.topological_order()
+        graph.compiled()

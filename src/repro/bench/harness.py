@@ -39,21 +39,73 @@ def _load_graph(scenario: BenchScenario) -> CGraph:
     return get_dataset(scenario.dataset, **kwargs)
 
 
+def run_compile_scenario(
+    scenario: BenchScenario,
+    *,
+    graph: CGraph | None = None,
+    repeats: int = 1,
+) -> BenchRecord:
+    """Measure one ``compile`` cell: plan build time + compiled bytes.
+
+    Each repeat rebuilds the :class:`CGraph` from its edge/node/source
+    data *outside* the timed region (the compiled view is cached on the
+    immutable graph, so a fresh instance is the only way to time a cold
+    build) and times exactly one ``graph.compiled()`` call.
+    """
+    if repeats <= 0:
+        raise ParameterError("repeats must be positive")
+    if graph is None:
+        graph = _load_graph(scenario)
+    edges = list(graph.edges())
+    nodes = graph.nodes()
+    sources = graph.sources
+
+    best = float("inf")
+    compiled = None
+    for _ in range(repeats):
+        fresh = CGraph(edges, nodes=nodes, sources=sources)
+        start = time.perf_counter()
+        compiled = fresh.compiled()
+        best = min(best, time.perf_counter() - start)
+    assert compiled is not None  # repeats >= 1
+
+    return BenchRecord(
+        scenario=scenario,
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        seconds=best,
+        repeats=repeats,
+        plan_seconds=best,
+        evaluations={"compiled_bytes": compiled.nbytes()},
+        filters=(),
+        filters_found=0,
+        objective=0,
+        filter_ratio=0.0,
+    )
+
+
 def run_scenario(
     scenario: BenchScenario,
     *,
     graph: CGraph | None = None,
     repeats: int = 1,
     phi_constants: tuple[int, int] | None = None,
+    compile_seconds: float | None = None,
 ) -> BenchRecord:
     """Measure one scenario cell.
 
     ``phi_constants`` is an optional pre-computed ``(Φ(∅), F(V))`` pair for
     ``graph`` — backend-independent, so :func:`run_suite` computes it once
-    per graph instead of twice per cell.
+    per graph instead of twice per cell.  ``compile_seconds`` is the
+    graph's measured one-time compile cost (again per graph, from
+    :func:`run_suite`); standalone calls measure it inline.  Either way
+    the plan work lands in the record's ``plan_seconds``, never in
+    ``seconds``.
     """
     if repeats <= 0:
         raise ParameterError("repeats must be positive")
+    if scenario.mode == "compile":
+        return run_compile_scenario(scenario, graph=graph, repeats=repeats)
     if scenario.mode != "algorithm":
         # Service cells time the request path, not the bare algorithm.
         from repro.bench.service import run_service_scenario
@@ -63,14 +115,22 @@ def run_scenario(
             graph=graph,
             repeats=repeats,
             phi_constants=phi_constants,
+            compile_seconds=compile_seconds,
         )
     if graph is None:
         graph = _load_graph(scenario)
     backend = get_backend(scenario.backend)
-    # Warm per-graph preprocessing (the numpy backend's levelization plan)
-    # outside the timed region: otherwise only the first cell per graph
-    # pays it and cell-to-cell comparisons depend on suite ordering.
+    # Plan work happens outside the timed region — the shared compiled
+    # view plus the backend's adapter over it — and is *measured* so
+    # BENCH.json reports the split instead of hiding the cost.  On a
+    # pre-compiled graph (the run_suite path) the first term is ~0 and
+    # ``compile_seconds`` carries the real number.
+    start = time.perf_counter()
+    graph.compiled()
     backend.warm(graph)
+    plan_seconds = time.perf_counter() - start
+    if compile_seconds is not None:
+        plan_seconds += compile_seconds
     counting = CountingBackend(backend)
     algorithm = get_algorithm(scenario.algorithm)
 
@@ -102,6 +162,7 @@ def run_scenario(
         edges=graph.number_of_edges(),
         seconds=best,
         repeats=repeats,
+        plan_seconds=plan_seconds,
         evaluations=dict(counting.counts),
         filters=tuple(repr(v) for v in result.filters),
         filters_found=len(result.filters),
@@ -122,13 +183,24 @@ def run_suite(
     """
     graphs: dict[tuple, CGraph] = {}
     constants: dict[tuple, tuple[int, int]] = {}
+    compile_seconds: dict[tuple, float] = {}
     records: list[BenchRecord] = []
     for scenario in scenarios:
         gkey = scenario.graph_key()
         if gkey not in graphs:
-            graphs[gkey] = _load_graph(scenario)
+            graph = _load_graph(scenario)
+            graphs[gkey] = graph
+            # Time the one-shot compile immediately after generation —
+            # before any Φ constant or warm call builds it as a side
+            # effect — so every cell of this graph can report the true
+            # plan cost it amortizes.  No is_dag() pre-check: compiling
+            # handles cyclic graphs, and the legacy dict-path check
+            # would pollute the measurement with non-plan work.
+            start = time.perf_counter()
+            graph.compiled()
+            compile_seconds[gkey] = time.perf_counter() - start
         graph = graphs[gkey]
-        if gkey not in constants:
+        if gkey not in constants and scenario.mode != "compile":
             phi_empty = phi(graph, ())
             constants[gkey] = (
                 phi_empty,
@@ -138,7 +210,8 @@ def run_suite(
             scenario,
             graph=graph,
             repeats=repeats,
-            phi_constants=constants[gkey],
+            phi_constants=constants.get(gkey),
+            compile_seconds=compile_seconds[gkey],
         )
         records.append(record)
         if progress is not None:
@@ -156,13 +229,16 @@ def render_records(records: Sequence[BenchRecord]) -> str:
     incremental session operations (regional updates + O(1) refreshes) —
     the split ``docs/benchmarks.md`` explains.  Lazy ``Greedy_All`` shows
     one sweep and a handful of ``inc``; eager shows ``k`` sweeps.
+    ``plan ms`` is the one-time plan/compile cost the timed ``ms`` column
+    excludes (``compile`` cells time exactly that, so there the columns
+    coincide).
     """
     from repro.analysis.report import format_table
     from repro.bench.instrument import incremental_count, sweep_count
 
     headers = [
         "dataset", "alg", "k", "backend", "nodes", "edges",
-        "ms", "sweeps", "inc", "FR",
+        "ms", "plan ms", "sweeps", "inc", "FR",
     ]
     rows = []
     for r in records:
@@ -180,6 +256,7 @@ def render_records(records: Sequence[BenchRecord]) -> str:
             str(r.nodes),
             str(r.edges),
             f"{r.seconds * 1e3:.1f}",
+            f"{r.plan_seconds * 1e3:.1f}",
             str(sweep_count(r.evaluations)),
             str(incremental_count(r.evaluations)),
             f"{r.filter_ratio:.4f}",

@@ -29,7 +29,7 @@ numbers hinge on:
 
 from __future__ import annotations
 
-from collections.abc import Collection, Mapping
+from collections.abc import Collection, Iterable, Mapping
 from typing import Hashable
 
 from repro.backends.base import PropagationBackend
@@ -127,6 +127,16 @@ class CountingBackend:
         self.counts["marginal_gains"] += 1
         return self.inner.marginal_gains(graph, filters)
 
+    def marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ):
+        """Forward the id fast path — the same whole-graph sweep, so it
+        lands on the same ``marginal_gains`` counter."""
+        self.counts["marginal_gains"] += 1
+        return self.inner.marginal_gains_ids(graph, filter_ids)
+
     def simplified_impacts(
         self,
         graph: CGraph,
@@ -135,6 +145,15 @@ class CountingBackend:
         """Forward ``simplified_impacts`` (``I'(v)``), counting one sweep."""
         self.counts["simplified_impacts"] += 1
         return self.inner.simplified_impacts(graph, filters)
+
+    def simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ):
+        """Forward the id fast path, counted as ``simplified_impacts``."""
+        self.counts["simplified_impacts"] += 1
+        return self.inner.simplified_impacts_ids(graph, filter_ids)
 
     def gain_session(
         self,
@@ -188,3 +207,17 @@ class CountingGainSession:
         """One regional re-settle, counted as ``session_update``."""
         self.counts["session_update"] += 1
         return self.inner.add_filter(node)
+
+    def gains_ids(self):
+        """Id-indexed gains from the wrapped session, uncounted (a copy)."""
+        return self.inner.gains_ids()
+
+    def gain_id(self, node_id):
+        """One lazy id gain read, counted as ``session_refresh``."""
+        self.counts["session_refresh"] += 1
+        return self.inner.gain_id(node_id)
+
+    def add_filter_id(self, node_id):
+        """One regional id re-settle, counted as ``session_update``."""
+        self.counts["session_update"] += 1
+        return self.inner.add_filter_id(node_id)

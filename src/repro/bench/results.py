@@ -9,14 +9,23 @@ One :class:`BenchRecord` per scenario cell; a document is::
         {
           "key": "citation@default/seed0/G_All/k10/numpy",
           "dataset": ..., "scale": ..., "seed": ..., "algorithm": ...,
-          "k": ..., "backend": ..., "nodes": ..., "edges": ...,
+          "k": ..., "backend": ..., "mode": ..., "nodes": ..., "edges": ...,
           "seconds": ..., "repeats": ...,
+          "plan_seconds": ...,   # one-time plan/compile cost, never in seconds
           "evaluations": {"marginal_gains": 10, ...},
           "filters": ["'chain_0'", ...],     # repr()'d node ids
           "filters_found": ..., "objective": ..., "filter_ratio": ...
         }, ...
       ]
     }
+
+``seconds`` is pure solve wall-clock: every cell's per-graph plan work
+(the shared :class:`~repro.graphs.compiled.CompiledGraph` build plus any
+backend adapter) happens before the timed region and is reported
+separately in ``plan_seconds``.  Cells of the ``compile`` suite
+(``mode = "compile"``) time *only* the plan build — there ``seconds ==
+plan_seconds`` and ``evaluations["compiled_bytes"]`` records the
+compiled tables' memory.
 
 ``BENCH.json`` at the repo root is the cross-PR trajectory file: each PR
 re-runs the default suite and the comparator (:mod:`repro.bench.compare`)
@@ -48,6 +57,9 @@ class BenchRecord:
     edges: int
     seconds: float
     repeats: int
+    #: One-time per-graph plan/compile cost paid outside the timed solve
+    #: region (shared CompiledGraph build + backend plan adapter).
+    plan_seconds: float = 0.0
     evaluations: dict[str, int] = field(default_factory=dict)
     filters: tuple[str, ...] = ()  # repr()'d node ids, selection order
     filters_found: int = 0

@@ -31,6 +31,12 @@ Built-in suites
     :mod:`repro.service` against a cold vs a warm placement cache, where
     the acceptance bar is a ≥50× cold/hit latency ratio
     (:func:`repro.bench.compare.cache_speedup`).
+``compile``
+    The compile-once micro axis: time to build the shared
+    :class:`~repro.graphs.compiled.CompiledGraph` plus its memory
+    footprint (``evaluations["compiled_bytes"]``) per dataset scale.
+    One plan feeds every backend, so these cells carry no backend axis
+    beyond the placeholder ``python``.
 """
 
 from __future__ import annotations
@@ -43,11 +49,14 @@ from repro.exceptions import ParameterError
 
 #: Measurement modes: ``algorithm`` times ``algorithm.place`` directly;
 #: the ``service_*`` modes time the serving path of :mod:`repro.service`
-#: (cold cache miss vs cached hit) for the same request.
+#: (cold cache miss vs cached hit) for the same request; ``compile``
+#: times only the shared :class:`~repro.graphs.compiled.CompiledGraph`
+#: build (and records its memory footprint).
 SCENARIO_MODES: tuple[str, ...] = (
     "algorithm",
     "service_cold",
     "service_hit",
+    "compile",
 )
 
 
@@ -71,7 +80,11 @@ class BenchScenario:
     mode: str = "algorithm"
 
     def key(self) -> str:
-        """``dataset@scale/seedN/algorithm/kK/backend[/cold|/hit]``."""
+        """``dataset@scale/seedN/algorithm/kK/backend[/cold|/hit]``.
+
+        ``compile`` cells use ``compile`` on the algorithm axis (with
+        ``k=0``), so their keys need no extra suffix.
+        """
         scale = "default" if self.scale is None else f"{self.scale:g}"
         base = (
             f"{self.dataset}@{scale}/seed{self.seed}"
@@ -147,6 +160,9 @@ def default_suite(
     scenarios.extend(
         _service_cells([("synthetic-sparse", 2.0)], backends, seed)
     )
+    # One compile cell per dataset so the trajectory file also tracks the
+    # one-time plan cost the solve cells amortize.
+    scenarios.extend(_compile_cells(cells, seed))
     return scenarios
 
 
@@ -169,6 +185,47 @@ def _service_cells(
         for backend in backends
         for mode in ("service_cold", "service_hit")
     ]
+
+
+def _compile_cells(
+    cells: Sequence[tuple[str, float | None]], seed: int
+) -> list[BenchScenario]:
+    return [
+        BenchScenario(
+            dataset=dataset,
+            algorithm="compile",
+            k=0,
+            backend="python",
+            scale=scale,
+            seed=seed,
+            mode="compile",
+        )
+        for dataset, scale in cells
+    ]
+
+
+def compile_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The compile-once micro axis: plan build time + bytes per dataset.
+
+    Each cell rebuilds the graph fresh and times only
+    ``CGraph.compiled()`` — the one-time cost that the solve suites pay
+    outside their timed regions — and records the compiled tables'
+    memory via ``evaluations["compiled_bytes"]``.  ``backends`` is
+    accepted for signature uniformity but ignored: the compiled plan is
+    backend-independent by construction.
+    """
+    del backends  # one shared plan; there is no backend axis to cross
+    cells: list[tuple[str, float | None]] = [
+        ("fig10", None),
+        ("quote", 1.0),
+        ("citation", 1.0),
+        ("synthetic-sparse", 1.0),
+        ("synthetic-sparse", 2.0),
+        ("synthetic-dense", 1.0),
+    ]
+    return _compile_cells(cells, seed)
 
 
 def service_suite(
@@ -239,6 +296,7 @@ _SUITES = {
     "ablation": ablation_suite,
     "lazy": lazy_suite,
     "service": service_suite,
+    "compile": compile_suite,
 }
 
 #: Every built-in suite name, in presentation order.

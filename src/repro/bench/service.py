@@ -41,13 +41,16 @@ def run_service_scenario(
     graph: CGraph | None = None,
     repeats: int = 1,
     phi_constants: tuple[int, int] | None = None,
+    compile_seconds: float | None = None,
 ) -> BenchRecord:
     """Measure one ``service_cold`` / ``service_hit`` cell.
 
     Mirrors :func:`repro.bench.harness.run_scenario`'s contract (same
     parameters, same best-of-``repeats`` seconds semantics) so the
     harness can dispatch on ``scenario.mode`` and treat the record
-    uniformly.
+    uniformly.  ``compile_seconds`` (the graph's one-time compile cost)
+    is carried into the record's ``plan_seconds`` — registration warms
+    exactly that one shared plan.
     """
     from repro.bench.harness import _load_graph
     from repro.service.app import ServiceApp
@@ -118,6 +121,7 @@ def run_service_scenario(
         edges=graph.number_of_edges(),
         seconds=best,
         repeats=repeats,
+        plan_seconds=compile_seconds or 0.0,
         evaluations={"requests": requests},
         filters=tuple(payload["filters"]),
         filters_found=payload["filters_found"],

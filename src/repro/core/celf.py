@@ -99,12 +99,20 @@ class CelfGreedyAll:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
-        """CELF selection: one full sweep, then heap pops + regional updates."""
+        """CELF selection: one full sweep, then heap pops + regional updates.
+
+        Runs on interned ids end to end — the heap holds ``(-gain, id)``
+        pairs (an id *is* the ``graph.nodes()`` rank, so the tuple compare
+        reproduces the eager argmax's lowest-rank tie-break), and the
+        session is driven through its id fast path.  User nodes appear
+        only in the recorded steps and the final placement.
+        """
         from repro.backends.registry import resolve_backend
 
         check_budget(graph, k)
-        node_rank = {v: i for i, v in enumerate(graph.nodes())}
-        chosen: list[Node] = []
+        compiled = graph.compiled()
+        nodes = compiled.nodes
+        chosen_ids: list[int] = []
         steps: list[PlacementStep] = []
         if k == 0:
             return PlacementResult(
@@ -112,61 +120,61 @@ class CelfGreedyAll:
             )
 
         session = resolve_backend(self.backend).gain_session(graph, ())
-        # Max-heap of (-gain, rank); rank is unique per node, so entries
+        # Max-heap of (-gain, id); ids are unique per node, so entries
         # never compare the (possibly unorderable) node itself, and ties
         # resolve to the lowest graph.nodes() rank — bit-identical to the
         # eager argmax.
-        heap: list[tuple[int, int, Node]] = [
-            (-gain, node_rank[v], v)
-            for v, gain in session.gains().items()
+        heap: list[tuple[int, int]] = [
+            (-gain, v)
+            for v, gain in enumerate(session.gains_ids())
             if gain > 0 or not self.early_stop
         ]
         heapq.heapify(heap)
-        stale: set[Node] = set()
+        stale: set[int] = set()
 
         refreshes = 0
         first_step = True
         round_no = 0
-        while len(chosen) < k and heap:
-            neg_gain, _, v = heapq.heappop(heap)
+        while len(chosen_ids) < k and heap:
+            neg_gain, v = heapq.heappop(heap)
             if v in stale:
                 # Lazy re-evaluation: an O(1) read of the maintained
                 # session state, only ever for the current heap top.
-                gain = session.gain(v)
+                gain = session.gain_id(v)
                 stale.discard(v)
                 refreshes += 1
                 if self.audit is not None:
-                    self.audit.append((v, -neg_gain, gain, round_no))
+                    self.audit.append((nodes[v], -neg_gain, gain, round_no))
                 if gain > 0 or not self.early_stop:
-                    heapq.heappush(heap, (-gain, node_rank[v], v))
+                    heapq.heappush(heap, (-gain, v))
                 continue
             gain = -neg_gain
             if gain <= 0 and self.early_stop:
                 break  # defensive: only positive gains are ever pushed
             # Fresh heap top: every other entry is an upper bound of its
             # node's true gain, so v is the exact argmax — select it.
-            affected = session.add_filter(v)
+            affected = session.add_filter_id(v)
             evaluations = [("session_refresh", refreshes), ("session_update", 1)]
             if first_step:
                 evaluations.append(("session_init", 1))
                 first_step = False
             steps.append(
                 PlacementStep(
-                    node=v,
+                    node=nodes[v],
                     gain=gain,
                     evaluations=tuple(
                         sorted((k_, c) for k_, c in evaluations if c)
                     ),
                 )
             )
-            chosen.append(v)
+            chosen_ids.append(v)
             stale.update(affected)
             stale.discard(v)
             refreshes = 0
             round_no += 1
         return PlacementResult(
             algorithm=self.name,
-            filters=tuple(chosen),
+            filters=tuple(compiled.to_nodes(chosen_ids)),
             requested_k=k,
             steps=tuple(steps),
         )

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Hashable
 
 from repro.core.base import PlacementResult, PlacementStep, check_budget
 from repro.core.celf import CelfGreedyAll
-from repro.core.impact import marginal_gains
+from repro.core.impact import marginal_gains_ids
 from repro.graphs.cgraph import CGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -73,42 +73,46 @@ class GreedyAll:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
-        """One ``I(v | A)`` sweep per pick; argmax with rank tie-breaks."""
+        """One ``I(v | A)`` sweep per pick; argmax with rank tie-breaks.
+
+        Runs entirely on the compiled view's interned ids — an id *is*
+        the ``graph.nodes()`` rank, so the ascending scan with a strict
+        ``>`` reproduces the canonical lowest-rank tie-break — and
+        translates back to user nodes only at the result boundary.
+        """
         check_budget(graph, k)
-        node_rank = {v: i for i, v in enumerate(graph.nodes())}
-        chosen: list[Node] = []
+        compiled = graph.compiled()
+        chosen_ids: list[int] = []
         steps: list[PlacementStep] = []
-        current: set[Node] = set()
+        placed = bytearray(compiled.n)
         for _ in range(k):
-            gains = marginal_gains(graph, current, backend=self.backend)
-            best: Node | None = None
+            gains = marginal_gains_ids(
+                graph, chosen_ids, backend=self.backend
+            )
+            best = -1
             best_gain = 0
-            for v, gain in gains.items():
-                if v in current:
+            for v, gain in enumerate(gains):
+                if placed[v]:
                     continue
                 if gain <= 0 and self.early_stop:
                     continue
-                if (
-                    best is None
-                    or gain > best_gain
-                    or (gain == best_gain and node_rank[v] < node_rank[best])
-                ):
+                if best < 0 or gain > best_gain:
                     best = v
                     best_gain = gain
-            if best is None:
+            if best < 0:
                 break  # every remaining candidate is useless; stop early
-            current.add(best)
-            chosen.append(best)
+            placed[best] = 1
+            chosen_ids.append(best)
             steps.append(
                 PlacementStep(
-                    node=best,
+                    node=compiled.nodes[best],
                     gain=best_gain,
                     evaluations=(("marginal_gains", 1),),
                 )
             )
         return PlacementResult(
             algorithm=self.name,
-            filters=tuple(chosen),
+            filters=tuple(compiled.to_nodes(chosen_ids)),
             requested_k=k,
             steps=tuple(steps),
         )

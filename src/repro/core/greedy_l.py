@@ -20,9 +20,11 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Hashable
 
+from collections.abc import Iterable
+
 from repro.core.base import PlacementResult, PlacementStep, check_budget
 from repro.graphs.cgraph import CGraph
-from repro.propagation.engine import item_receipts
+from repro.propagation.engine import item_receipts_ids, loose_filter_mask
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
@@ -47,25 +49,53 @@ def simplified_impacts(
     return resolve_backend(backend).simplified_impacts(graph, filters)
 
 
+def simplified_impacts_ids(
+    graph: CGraph,
+    filter_ids: Iterable[int] = (),
+    *,
+    backend: "str | PropagationBackend | None" = None,
+) -> list[int]:
+    """:func:`simplified_impacts` over interned ids (list indexed by id)."""
+    from repro.backends.registry import resolve_backend
+
+    return resolve_backend(backend).simplified_impacts_ids(graph, filter_ids)
+
+
+def _scores_for_mask(compiled, mask: bytearray) -> list[int]:
+    """``I'`` as a list over interned ids for a prepared filter mask."""
+    totals = [0] * compiled.n
+    for origin_id in compiled.source_ids:
+        psi = item_receipts_ids(compiled, origin_id, mask)
+        for v, count in enumerate(psi):
+            if count:
+                totals[v] += count
+    out_degree = compiled.out_degree
+    return [totals[v] * out_degree[v] for v in range(compiled.n)]
+
+
+def simplified_impacts_ids_exact(
+    graph: CGraph,
+    filter_ids: Iterable[int] = (),
+) -> list[int]:
+    """:func:`simplified_impacts_ids` via the exact big-int index sweeps
+    (the ``python`` backend's implementation)."""
+    compiled = graph.compiled()
+    return _scores_for_mask(compiled, compiled.filter_mask(filter_ids))
+
+
 def simplified_impacts_exact(
     graph: CGraph,
     filters: set[Node],
     *,
     _order: tuple[Node, ...] | None = None,
 ) -> dict[Node, int]:
-    """:func:`simplified_impacts` via the exact big-int sweeps (the
-    ``python`` backend's implementation)."""
-    order = _order if _order is not None else graph.topological_order()
-    totals: dict[Node, int] = dict.fromkeys(order, 0)
-    for origin in graph.sources:
-        psi = item_receipts(graph, origin, filters, _order=order)
-        for v in order:
-            totals[v] += psi[v]
+    """:func:`simplified_impacts` via the exact big-int index sweeps (the
+    ``python`` backend's implementation).  ``_order`` is deprecated and
+    ignored (the compiled view caches its own topological order)."""
+    compiled = graph.compiled()
+    scores = _scores_for_mask(compiled, loose_filter_mask(compiled, filters))
     # Keyed in graph.nodes() order — the cross-backend canonical order.
-    return {
-        v: totals[v] * graph.out_degree(v)
-        for v in graph.nodes()
-    }
+    return dict(zip(compiled.nodes, scores))
 
 
 class GreedyL:
@@ -92,47 +122,51 @@ class GreedyL:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
-        """One ``I'(v)`` sweep per pick (Algorithm 2)."""
+        """One ``I'(v)`` sweep per pick (Algorithm 2).
+
+        Runs on interned ids; the ascending scan with a strict ``>``
+        reproduces the canonical lowest-rank tie-break, and user nodes
+        reappear only at the result boundary.
+        """
         check_budget(graph, k)
-        node_rank = {v: i for i, v in enumerate(graph.nodes())}
-        order = graph.topological_order()
-        chosen: list[Node] = []
+        compiled = graph.compiled()
+        # Ensure the topological accessors exist up front — Greedy_L is
+        # specified on DAGs and should fail fast on cyclic input.
+        compiled.topo_order
+        chosen_ids: list[int] = []
         steps: list[PlacementStep] = []
-        current: set[Node] = set()
+        placed = bytearray(compiled.n)
         for _ in range(k):
-            scores = simplified_impacts(graph, current, backend=self.backend)
-            best: Node | None = None
+            scores = simplified_impacts_ids(
+                graph, chosen_ids, backend=self.backend
+            )
+            best = -1
             best_score = 0
-            for v in order:
-                if v in current:
+            for v, score in enumerate(scores):
+                if placed[v]:
                     continue
-                score = scores[v]
                 # A node forwarding at most one copy per edge gains nothing
                 # by filtering; requiring Prefix × dout > dout would need
                 # the prefix, so Greedy_L's own coarse cut is score > 0.
                 if score <= 0:
                     continue
-                if (
-                    best is None
-                    or score > best_score
-                    or (score == best_score and node_rank[v] < node_rank[best])
-                ):
+                if best < 0 or score > best_score:
                     best = v
                     best_score = score
-            if best is None:
+            if best < 0:
                 break
-            current.add(best)
-            chosen.append(best)
+            placed[best] = 1
+            chosen_ids.append(best)
             steps.append(
                 PlacementStep(
-                    node=best,
+                    node=compiled.nodes[best],
                     gain=best_score,
                     evaluations=(("simplified_impacts", 1),),
                 )
             )
         return PlacementResult(
             algorithm=self.name,
-            filters=tuple(chosen),
+            filters=tuple(compiled.to_nodes(chosen_ids)),
             requested_k=k,
             steps=tuple(steps),
         )

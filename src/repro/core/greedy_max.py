@@ -17,7 +17,7 @@ import random
 from typing import TYPE_CHECKING, Hashable
 
 from repro.core.base import PlacementResult, PlacementStep, check_budget
-from repro.core.impact import impacts
+from repro.core.impact import marginal_gains_ids
 from repro.graphs.cgraph import CGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,28 +50,32 @@ class GreedyMax:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
-        """Rank once by ``I(v | ∅)`` and take the top ``k``."""
+        """Rank once by ``I(v | ∅)`` and take the top ``k``.
+
+        The sweep, ranking and tie-breaks all run on interned ids (an id
+        is the ``graph.nodes()`` rank); nodes reappear at the boundary.
+        """
         check_budget(graph, k)
-        node_rank = {v: i for i, v in enumerate(graph.nodes())}
-        scored = impacts(graph, backend=self.backend)
+        compiled = graph.compiled()
+        scored = marginal_gains_ids(graph, (), backend=self.backend)
         ranked = sorted(
-            (v for v, gain in scored.items() if gain > 0),
-            key=lambda v: (-scored[v], node_rank[v]),
+            (v for v, gain in enumerate(scored) if gain > 0),
+            key=lambda v: (-scored[v], v),
         )
-        chosen = tuple(ranked[:k])
+        chosen_ids = ranked[:k]
         # The single sweep is charged to the first pick; later picks are
         # free table lookups.
         steps = tuple(
             PlacementStep(
-                node=v,
+                node=compiled.nodes[v],
                 gain=scored[v],
                 evaluations=(("marginal_gains", 1),) if i == 0 else (),
             )
-            for i, v in enumerate(chosen)
+            for i, v in enumerate(chosen_ids)
         )
         return PlacementResult(
             algorithm=self.name,
-            filters=chosen,
+            filters=tuple(compiled.to_nodes(chosen_ids)),
             requested_k=k,
             steps=steps,
         )

@@ -50,21 +50,27 @@ class GreedyOne:
         *,
         rng: random.Random | None = None,
     ) -> PlacementResult:
-        """Rank by ``m(v) = din(v) × dout(v)`` and take the top ``k``."""
+        """Rank by ``m(v) = din(v) × dout(v)`` and take the top ``k``.
+
+        Pure degree-array arithmetic on the compiled view — no dict or
+        node-object traffic until the result boundary.
+        """
         check_budget(graph, k)
-        node_rank = {v: i for i, v in enumerate(graph.nodes())}
-        scores = {v: degree_score(graph, v) for v in graph.nodes()}
+        compiled = graph.compiled()
+        in_degree, out_degree = compiled.in_degree, compiled.out_degree
+        scores = [in_degree[v] * out_degree[v] for v in range(compiled.n)]
         ranked = sorted(
-            (v for v, score in scores.items() if score > 0),
-            key=lambda v: (-scores[v], node_rank[v]),
+            (v for v, score in enumerate(scores) if score > 0),
+            key=lambda v: (-scores[v], v),
         )
-        chosen = tuple(ranked[:k])
+        chosen_ids = ranked[:k]
         steps = tuple(
-            PlacementStep(node=v, gain=scores[v]) for v in chosen
+            PlacementStep(node=compiled.nodes[v], gain=scores[v])
+            for v in chosen_ids
         )
         return PlacementResult(
             algorithm=self.name,
-            filters=chosen,
+            filters=tuple(compiled.to_nodes(chosen_ids)),
             requested_k=k,
             steps=steps,
         )

@@ -31,24 +31,34 @@ implementations are cross-checked in the test suite.
 Everything aggregates over one item per source (distinct items, as in the
 paper); ``W`` is item-independent, ``ψ`` is per-item.
 
+All sweeps run over the graph's compiled view (interned ids, tuple
+adjacency, cached topological order); :func:`absorbing_suffix_ids` and
+:func:`marginal_gains_ids_exact` are the id-level primitives and the
+node-keyed entry points translate only at the boundary.
+
 :func:`marginal_gains` dispatches through the pluggable backend registry
-(:mod:`repro.backends.registry`): the dict sweeps below are the ``python``
+(:mod:`repro.backends.registry`): the index sweeps below are the ``python``
 backend's implementation, and the ``numpy`` backend computes the same
 ``ψ``/``W`` passes as batched level-synchronous array operations.
 """
 
 from __future__ import annotations
 
-from collections.abc import Collection
+from collections.abc import Collection, Iterable
 from typing import TYPE_CHECKING, Hashable
 
 from repro.exceptions import MissingSourceError
 from repro.graphs.cgraph import CGraph
 from repro.graphs.validation import validate_filter_set
-from repro.propagation.engine import item_receipts
+from repro.propagation.engine import (
+    item_receipts,
+    item_receipts_ids,
+    loose_filter_mask,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.graphs.compiled import CompiledGraph
 
 Node = Hashable
 
@@ -66,6 +76,30 @@ def receipts_given_filters(
     return item_receipts(graph, origin, filters)
 
 
+def absorbing_suffix_ids(
+    compiled: "CompiledGraph", mask: bytearray
+) -> list[int]:
+    """``W`` as a list over interned ids — one backward index sweep.
+
+    Maintains the filter-absorbed view ``w_eff(u) = [u ∉ A]·W(u)`` so the
+    recurrence collapses to ``W(v) = dout(v) + Σ_u w_eff(u)`` and the
+    per-edge work runs inside C (``sum(map(...))``), mirroring the
+    gather-from-parents trick of the forward ψ sweep.
+    """
+    w = [0] * compiled.n
+    w_eff = [0] * compiled.n
+    w_eff_get = w_eff.__getitem__
+    succ = compiled.succ_ids
+    for v in reversed(compiled.topo_order):
+        children = succ[v]
+        if children:
+            acc = len(children) + sum(map(w_eff_get, children))
+            w[v] = acc
+            if not mask[v]:
+                w_eff[v] = acc
+    return w
+
+
 def absorbing_suffix(
     graph: CGraph,
     filters: Collection[Node] = (),
@@ -77,18 +111,12 @@ def absorbing_suffix(
     Equivalently (and as the tests verify): the number of non-empty
     directed paths starting at ``v`` whose *interior* contains no filter —
     the ``Suffix`` of the paper after plist resets.  Sinks have ``W = 0``.
+    ``_order`` is deprecated and ignored (the compiled view caches its
+    own topological order).
     """
-    filter_set = set(filters)
-    order = _order if _order is not None else graph.topological_order()
-    w: dict[Node, int] = dict.fromkeys(order, 0)
-    for v in reversed(order):
-        acc = 0
-        for u in graph.successors(v):
-            acc += 1
-            if u not in filter_set:
-                acc += w[u]
-        w[v] = acc
-    return w
+    compiled = graph.compiled()
+    w = absorbing_suffix_ids(compiled, loose_filter_mask(compiled, filters))
+    return dict(zip(compiled.nodes, w))
 
 
 def marginal_gains(
@@ -108,33 +136,63 @@ def marginal_gains(
     return resolve_backend(backend).marginal_gains(graph, filters)
 
 
-def marginal_gains_exact(
+def marginal_gains_ids(
     graph: CGraph,
-    filters: Collection[Node] = (),
-) -> dict[Node, int]:
-    """:func:`marginal_gains` via the exact big-int sweeps (the ``python``
-    backend's implementation).
+    filter_ids: Iterable[int] = (),
+    *,
+    backend: "str | PropagationBackend | None" = None,
+) -> list[int]:
+    """:func:`marginal_gains` over interned ids — the algorithms' hot path.
+
+    Returns a plain list indexed by compiled node id (which equals the
+    ``graph.nodes()`` rank, so an index compare is a rank tie-break).
+    ``filter_ids`` must be valid interned ids of ``graph.compiled()``.
+    """
+    from repro.backends.registry import resolve_backend
+
+    return resolve_backend(backend).marginal_gains_ids(graph, filter_ids)
+
+
+def marginal_gains_ids_exact(
+    graph: CGraph,
+    filter_ids: Iterable[int] = (),
+) -> list[int]:
+    """:func:`marginal_gains_ids` via the exact big-int index sweeps (the
+    ``python`` backend's implementation).
 
     Cost: one ``W`` pass plus one ``ψ`` pass per source.
     """
     if not graph.sources:
         raise MissingSourceError("graph has no sources")
+    compiled = graph.compiled()
+    mask = compiled.filter_mask(filter_ids)
+    w = absorbing_suffix_ids(compiled, mask)
+    gains = [0] * compiled.n
+    for origin_id in compiled.source_ids:
+        psi = item_receipts_ids(compiled, origin_id, mask)
+        for v, count in enumerate(psi):
+            if count > 1 and not mask[v]:
+                wv = w[v]
+                if wv:
+                    gains[v] += (count - 1) * wv
+    return gains
+
+
+def marginal_gains_exact(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+) -> dict[Node, int]:
+    """:func:`marginal_gains` via the exact big-int index sweeps (the
+    ``python`` backend's implementation)."""
+    if not graph.sources:
+        raise MissingSourceError("graph has no sources")
     filter_set = set(filters)
     validate_filter_set(graph, filter_set)
-    order = graph.topological_order()
-    w = absorbing_suffix(graph, filter_set, _order=order)
+    compiled = graph.compiled()
+    gains = marginal_gains_ids_exact(graph, compiled.to_ids(filter_set))
     # Keyed in graph.nodes() order — the cross-backend canonical order, so
     # serialized results match the numpy backend's byte for byte.
-    gains: dict[Node, int] = dict.fromkeys(graph.nodes(), 0)
-    for origin in graph.sources:
-        psi = item_receipts(graph, origin, filter_set, _order=order)
-        for v in order:
-            if v in filter_set:
-                continue
-            surplus = psi[v] - 1
-            if surplus > 0 and w[v]:
-                gains[v] += surplus * w[v]
-    return gains
+    return dict(zip(compiled.nodes, gains))
 
 
 def impacts(

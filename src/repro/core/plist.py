@@ -60,58 +60,73 @@ def compute_plists(
     origin: Node,
     filters: Collection[Node] = (),
 ) -> PlistTables:
-    """Run the paper's recursive plist computation for one item."""
-    if origin not in graph:
-        raise MissingNodeError(origin)
-    filter_set = set(filters)
-    order = graph.topological_order()
+    """Run the paper's recursive plist computation for one item.
 
-    arrivals: dict[Node, dict[Node, int]] = {v: {} for v in order}
-    prefix: dict[Node, int] = dict.fromkeys(order, 0)
-    suffix: dict[Node, int] = dict.fromkeys(order, 0)
+    The sweep runs over the compiled view's interned ids (per-node
+    arrival dicts keyed by anchor *ids*); the returned tables translate
+    back to user nodes at the boundary, as everywhere else.
+    """
+    from repro.propagation.engine import loose_filter_mask
+
+    compiled = graph.compiled()
+    if origin not in compiled.index:
+        raise MissingNodeError(origin)
+    origin_id = compiled.index[origin]
+    mask = loose_filter_mask(compiled, filters)
+    n = compiled.n
+    succ = compiled.succ_ids
+
+    arrivals: list[dict[int, int]] = [{} for _ in range(n)]
+    prefix = [0] * n
+    suffix = [0] * n
 
     # Anchors whose plist entries correspond to actual copies in flight:
     # the origin, plus every filter the item reached (a filter re-anchors
     # path counting because its list is reset to {f: 1}).  Entries keyed by
     # ordinary ancestors are path bookkeeping for Suffix, not copies, so
     # Prefix(v) — the copies v receives — sums the emitting anchors only.
-    emitting: set[Node] = {origin}
+    emitting = bytearray(n)
+    emitting[origin_id] = 1
 
-    # outbound[v] is the list v hands to each child: the reset {v: 1} for
+    # outbound is the list v hands to each child: the reset {v: 1} for
     # the origin and for filters that received the item, the arrival list
     # plus the self-entry otherwise, and nothing for nodes the item never
     # reaches.
-    outbound: dict[Node, dict[Node, int]] = {}
-    for v in order:
+    for v in compiled.topo_order:
         arrival = arrivals[v]
         prefix[v] = sum(
-            count for anchor, count in arrival.items() if anchor in emitting
+            count for anchor, count in arrival.items() if emitting[anchor]
         )
-        if v == origin:
-            outbound_v: dict[Node, int] = {v: 1}
+        if v == origin_id:
+            outbound_v: dict[int, int] = {v: 1}
         elif prefix[v] == 0:
-            outbound_v = {}
-        elif v in filter_set:
-            emitting.add(v)
+            continue
+        elif mask[v]:
+            emitting[v] = 1
             outbound_v = {v: 1}
         else:
             outbound_v = dict(arrival)
             outbound_v[v] = outbound_v.get(v, 0) + 1
-        outbound[v] = outbound_v
-        if not outbound_v:
-            continue
-        for child in graph.successors(v):
+        for child in succ[v]:
             child_arrival = arrivals[child]
             for anchor, count in outbound_v.items():
                 child_arrival[anchor] = child_arrival.get(anchor, 0) + count
 
     # Suffix(v) = Σ_x plist_x[v]: fold every arrival entry back onto the
     # node it is keyed by (the online bookkeeping of the paper's Eq. 4).
-    for x in order:
+    for x in range(n):
         for anchor, count in arrivals[x].items():
             suffix[anchor] += count
 
-    return PlistTables(arrivals=arrivals, prefix=prefix, suffix=suffix)
+    nodes = compiled.nodes
+    return PlistTables(
+        arrivals={
+            nodes[v]: {nodes[a]: c for a, c in arrival.items()}
+            for v, arrival in enumerate(arrivals)
+        },
+        prefix=dict(zip(nodes, prefix)),
+        suffix=dict(zip(nodes, suffix)),
+    )
 
 
 def plist_impacts(

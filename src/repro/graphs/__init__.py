@@ -8,6 +8,7 @@ algorithm (Section 4.3), the c-tree to binary-tree transformation
 """
 
 from repro.graphs.cgraph import CGraph
+from repro.graphs.compiled import CompiledGraph
 from repro.graphs.traversal import (
     bfs_levels,
     dfs_forest,
@@ -36,6 +37,7 @@ from repro.graphs.io import (
 
 __all__ = [
     "CGraph",
+    "CompiledGraph",
     "topological_order",
     "dfs_forest",
     "reachable_from",

@@ -75,11 +75,13 @@ class CGraph:
         "_pred",
         "_nodes",
         "_sources",
+        "_sources_explicit",
         "_num_edges",
         "_topo_cache",
         "_is_dag_cache",
+        "_compiled_cache",
         # Weak referencing enables external per-graph caches (the numpy
-        # backend's levelization plans) without pinning graphs alive.
+        # backend's levelized plan adapters) without pinning graphs alive.
         "__weakref__",
     )
 
@@ -134,8 +136,13 @@ class CGraph:
                 if s not in self._succ:
                     raise MissingNodeError(s)
         self._sources: frozenset[Node] = source_set
+        # Whether the source set was *given* (vs defaulted to in-degree-0
+        # nodes).  Derived-graph constructors preserve explicit sources but
+        # re-default defaulted ones, so edge edits can promote new roots.
+        self._sources_explicit: bool = sources is not None
         self._topo_cache: tuple[Node, ...] | None = None
         self._is_dag_cache: bool | None = None
+        self._compiled_cache: "Any | None" = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -145,6 +152,17 @@ class CGraph:
     def sources(self) -> frozenset[Node]:
         """The item-generating nodes."""
         return self._sources
+
+    @property
+    def sources_explicit(self) -> bool:
+        """True when the source set was given explicitly at construction.
+
+        Defaulted sources (the in-degree-zero nodes) are a *derived*
+        property: graphs built from this one by edge edits re-derive them
+        instead of pinning this graph's roots.  Explicit sources are part
+        of the graph's identity and are carried over.
+        """
+        return self._sources_explicit
 
     def nodes(self) -> tuple[Node, ...]:
         """All nodes, in insertion order (stable across runs)."""
@@ -281,6 +299,22 @@ class CGraph:
         self._is_dag_cache = True
         return self._topo_cache
 
+    def compiled(self) -> "Any":
+        """The graph's :class:`~repro.graphs.compiled.CompiledGraph` view.
+
+        Built on first access and cached for the life of the graph (safe
+        because the graph is immutable) — every layer that sweeps this
+        graph shares the one compiled plan.  Derived graphs
+        (:meth:`subgraph`, :meth:`reversed`, :meth:`without_edges`, ...)
+        are new objects and therefore compile fresh; a stale plan can
+        never leak across a structural change.
+        """
+        if self._compiled_cache is None:
+            from repro.graphs.compiled import CompiledGraph
+
+            self._compiled_cache = CompiledGraph(self)
+        return self._compiled_cache
+
     # ------------------------------------------------------------------
     # Constructive operations (return new graphs)
     # ------------------------------------------------------------------
@@ -292,8 +326,11 @@ class CGraph:
     def subgraph(self, keep: Iterable[Node]) -> "CGraph":
         """The induced subgraph on ``keep``.
 
-        Sources of the result are the retained original sources; if none
-        survive, sources default to in-degree-zero nodes of the subgraph.
+        If this graph's sources were explicit, the result keeps the
+        retained ones (defaulting to in-degree-zero nodes only when none
+        survive).  Defaulted sources are re-derived on the subgraph, so a
+        node whose last in-edge was cut becomes a source instead of the
+        parent graph's roots being pinned.
         """
         keep_set = set(keep)
         for node in keep_set:
@@ -302,7 +339,9 @@ class CGraph:
         edges = [
             (u, v) for u, v in self.edges() if u in keep_set and v in keep_set
         ]
-        surviving_sources = self._sources & keep_set
+        surviving_sources = (
+            self._sources & keep_set if self._sources_explicit else frozenset()
+        )
         return CGraph(
             edges,
             nodes=keep_set,
@@ -320,14 +359,19 @@ class CGraph:
         )
 
     def without_edges(self, drop: Iterable[Edge]) -> "CGraph":
-        """A copy of this graph with the edges in ``drop`` removed."""
+        """A copy of this graph with the edges in ``drop`` removed.
+
+        Explicit sources are preserved; defaulted sources are re-derived,
+        so a node that loses its last in-edge is promoted to a source
+        rather than left orphaned by the parent's pinned root set.
+        """
         drop_set = set(drop)
         for u, v in drop_set:
             if not self.has_edge(u, v):
                 raise GraphStructureError(
                     f"cannot drop missing edge {u!r} -> {v!r}"
                 )
-        kept_sources = self._sources if self._sources else None
+        kept_sources = self._sources if self._sources_explicit else None
         return CGraph(
             (e for e in self.edges() if e not in drop_set),
             nodes=self._nodes,
@@ -335,10 +379,14 @@ class CGraph:
         )
 
     def with_edges(self, add: Iterable[Edge]) -> "CGraph":
-        """A copy of this graph with the edges in ``add`` inserted."""
+        """A copy of this graph with the edges in ``add`` inserted.
+
+        Explicit sources are preserved; defaulted sources are re-derived,
+        so a root gaining its first in-edge stops being a source.
+        """
         new_edges = list(self.edges())
         new_edges.extend(add)
-        kept_sources = self._sources if self._sources else None
+        kept_sources = self._sources if self._sources_explicit else None
         graph = CGraph(new_edges, nodes=self._nodes, sources=kept_sources)
         return graph
 

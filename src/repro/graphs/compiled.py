@@ -1,0 +1,324 @@
+"""The compile-once graph core: interned node ids + shared CSR plans.
+
+Every quantity the placement layers compute — ``Φ`` evaluations, marginal
+gains, plists, incremental sessions — is a topological sweep over the same
+c-graph, yet historically each layer re-derived its own view of it: the
+exact engine walked dict-of-tuples adjacency, the NumPy backend built a
+private CSR plan, the incremental sessions built their own topo index
+maps, and the service warmed one plan per backend.  :class:`CompiledGraph`
+replaces all of that with **one** frozen, integer-interned view, built in
+a single pass and cached on the immutable :class:`~repro.graphs.cgraph.CGraph`
+(:meth:`~repro.graphs.cgraph.CGraph.compiled`).
+
+Layout
+------
+Nodes are *interned*: node ``i`` is ``nodes[i]`` and ``index[node] = i``,
+with ``i`` running in ``graph.nodes()`` insertion order — the canonical
+cross-backend order every tie-break and serialization already uses, so an
+index compare *is* a rank compare.  On top of the tables sit:
+
+* ``succ_ids`` / ``pred_ids`` — adjacency as tuples of int tuples, the
+  pure-python sweeps' hot-path representation (no hashing, no dict
+  traffic);
+* ``out_offsets``/``out_targets`` and ``in_offsets``/``in_sources`` —
+  the same adjacency as forward and reverse CSR arrays (plain lists), the
+  zero-ceremony substrate the NumPy backend's plan adapts;
+* ``out_degree`` / ``in_degree`` — degree arrays;
+* ``source_ids`` / ``sink_ids`` / ``merge_ids`` — the derived node
+  families as ascending index tuples;
+* ``topo_order`` / ``topo_index`` / ``depth`` / ``level_offsets`` — a
+  cached topological order **partitioned into levels**: ``depth[i]`` is
+  the longest-path distance from any root, ``topo_order`` lists node ids
+  sorted by ``(depth, id)``, and level ``L`` occupies
+  ``topo_order[level_offsets[L]:level_offsets[L + 1]]``.  Every edge
+  crosses strictly upward in depth, which is exactly the property the
+  levelized vectorized sweeps and the dirty-column wavefronts need.
+
+Cyclic graphs still compile — the structural tables (CSR, degrees,
+sources) are well-defined and cheap — but ``is_dag`` is False and the
+topological accessors raise :class:`~repro.exceptions.CyclicGraphError`,
+mirroring :meth:`CGraph.topological_order`.
+
+The module is dependency-free (plain lists, tuples and dicts) so the
+exact python path works — and is tested — in environments without NumPy.
+"""
+
+from __future__ import annotations
+
+import sys
+import weakref
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Hashable
+
+from repro.exceptions import CyclicGraphError, MissingNodeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.cgraph import CGraph
+
+Node = Hashable
+
+
+class CompiledGraph:
+    """A frozen, integer-interned view of one :class:`CGraph`.
+
+    Instances are built once per graph by :meth:`CGraph.compiled` and
+    shared by every consumer — the propagation engines, both backends,
+    the incremental gain sessions, the placement algorithms and the
+    service's resident-graph store.  All attributes are set at
+    construction and must never be mutated; the arrays are plain lists
+    only because CPython indexes them fastest.
+    """
+
+    __slots__ = (
+        "_graph_ref",
+        "n",
+        "m",
+        "nodes",
+        "index",
+        "succ_ids",
+        "pred_ids",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_sources",
+        "out_degree",
+        "in_degree",
+        "source_ids",
+        "sink_ids",
+        "merge_ids",
+        "is_dag",
+        "num_levels",
+        "_topo_order",
+        "_topo_index",
+        "_depth",
+        "_level_offsets",
+    )
+
+    def __init__(self, graph: "CGraph") -> None:
+        nodes = graph.nodes()
+        n = len(nodes)
+        index = {v: i for i, v in enumerate(nodes)}
+
+        succ_ids: tuple[tuple[int, ...], ...] = tuple(
+            tuple(index[c] for c in graph.successors(v)) for v in nodes
+        )
+        pred_lists: list[list[int]] = [[] for _ in range(n)]
+        for u, children in enumerate(succ_ids):
+            for c in children:
+                pred_lists[c].append(u)
+        pred_ids: tuple[tuple[int, ...], ...] = tuple(
+            tuple(ps) for ps in pred_lists
+        )
+        out_degree = [len(s) for s in succ_ids]
+        in_degree = [len(p) for p in pred_ids]
+
+        out_offsets = [0] * (n + 1)
+        for i in range(n):
+            out_offsets[i + 1] = out_offsets[i] + out_degree[i]
+        out_targets = [c for children in succ_ids for c in children]
+        in_offsets = [0] * (n + 1)
+        for i in range(n):
+            in_offsets[i + 1] = in_offsets[i] + in_degree[i]
+        in_sources = [u for parents in pred_ids for u in parents]
+
+        # Weak back-reference only: the graph's _compiled_cache already
+        # holds this object strongly, and a strong .graph would turn that
+        # into a refcount cycle reclaimable only by the cyclic GC —
+        # delaying eviction of large service-resident graphs.
+        self._graph_ref = weakref.ref(graph)
+        self.n = n
+        self.m = len(out_targets)
+        self.nodes = nodes
+        self.index = index
+        self.succ_ids = succ_ids
+        self.pred_ids = pred_ids
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.in_offsets = in_offsets
+        self.in_sources = in_sources
+        self.out_degree = out_degree
+        self.in_degree = in_degree
+        self.source_ids = tuple(sorted(index[s] for s in graph.sources))
+        self.sink_ids = tuple(i for i in range(n) if not out_degree[i])
+        self.merge_ids = tuple(
+            i for i in range(n) if in_degree[i] > 1 and out_degree[i]
+        )
+
+        # Kahn by wavefronts: a node becomes ready in the round equal to
+        # its longest-path distance from any root, so one pass levelizes
+        # and cycle-checks simultaneously.  Levels are sorted by id so the
+        # resulting topological order is deterministic and id-monotone
+        # within a level.
+        indeg = in_degree[:]
+        depth = [0] * n
+        frontier = [i for i in range(n) if not indeg[i]]
+        levels: list[list[int]] = []
+        processed = 0
+        level = 0
+        while frontier:
+            frontier.sort()
+            levels.append(frontier)
+            processed += len(frontier)
+            ready: list[int] = []
+            for v in frontier:
+                depth[v] = level
+                for child in succ_ids[v]:
+                    indeg[child] -= 1
+                    if not indeg[child]:
+                        ready.append(child)
+            frontier = ready
+            level += 1
+
+        self.is_dag = processed == n
+        if self.is_dag:
+            topo_order: list[int] = []
+            level_offsets = [0]
+            for members in levels:
+                topo_order.extend(members)
+                level_offsets.append(len(topo_order))
+            topo_index = [0] * n
+            for pos, v in enumerate(topo_order):
+                topo_index[v] = pos
+            self.num_levels = len(levels)
+            self._topo_order = tuple(topo_order)
+            self._topo_index = topo_index
+            self._depth = depth
+            self._level_offsets = level_offsets
+        else:
+            self.num_levels = 0
+            self._topo_order = None
+            self._topo_index = None
+            self._depth = None
+            self._level_offsets = None
+
+    @property
+    def graph(self) -> "CGraph | None":
+        """The source graph (weakly referenced; None once it is gone)."""
+        return self._graph_ref()
+
+    # ------------------------------------------------------------------
+    # Topological accessors (DAG-only)
+    # ------------------------------------------------------------------
+
+    def _require_dag(self) -> None:
+        if not self.is_dag:
+            raise CyclicGraphError("graph contains a directed cycle")
+
+    @property
+    def topo_order(self) -> tuple[int, ...]:
+        """Node ids sorted by ``(depth, id)`` — a topological order."""
+        self._require_dag()
+        return self._topo_order
+
+    @property
+    def topo_index(self) -> list[int]:
+        """``topo_index[i]``: position of node ``i`` in :attr:`topo_order`."""
+        self._require_dag()
+        return self._topo_index
+
+    @property
+    def depth(self) -> list[int]:
+        """``depth[i]``: longest-path distance of node ``i`` from any root."""
+        self._require_dag()
+        return self._depth
+
+    @property
+    def level_offsets(self) -> list[int]:
+        """Level partition of :attr:`topo_order` (``num_levels + 1`` entries)."""
+        self._require_dag()
+        return self._level_offsets
+
+    def level_members(self, level: int) -> Sequence[int]:
+        """The node ids of one level, ascending."""
+        offsets = self.level_offsets
+        return self._topo_order[offsets[level]:offsets[level + 1]]
+
+    # ------------------------------------------------------------------
+    # Id ↔ node translation (the compiled/user boundary)
+    # ------------------------------------------------------------------
+
+    def to_id(self, node: Node) -> int:
+        """The interned id of ``node``; raises :class:`MissingNodeError`."""
+        try:
+            return self.index[node]
+        except (KeyError, TypeError):
+            raise MissingNodeError(node) from None
+
+    def to_node(self, node_id: int) -> Node:
+        """The user node behind an interned id."""
+        return self.nodes[node_id]
+
+    def to_ids(self, nodes: Iterable[Node]) -> list[int]:
+        """Intern a collection of user nodes (validating membership)."""
+        return [self.to_id(v) for v in nodes]
+
+    def to_nodes(self, ids: Iterable[int]) -> list[Node]:
+        """Translate interned ids back to user nodes."""
+        nodes = self.nodes
+        return [nodes[i] for i in ids]
+
+    def filter_mask(self, filter_ids: Iterable[int]) -> bytearray:
+        """A dense 0/1 membership mask over node ids (``bytearray`` for
+        the fastest pure-python indexing).
+
+        Ids are range-checked: a negative id would otherwise wrap to the
+        end of the mask (Python indexing) and silently filter the wrong
+        node.
+        """
+        n = self.n
+        mask = bytearray(n)
+        for i in filter_ids:
+            if not 0 <= i < n:
+                raise MissingNodeError(i)
+            mask[i] = 1
+        return mask
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Shallow container memory of the compiled tables, in bytes.
+
+        Sums ``sys.getsizeof`` over every table (including the per-node
+        adjacency tuples); the interned ints themselves are shared
+        objects and deliberately not charged.  Used by the ``compile``
+        bench suite to track memory per dataset scale.
+        """
+        total = sum(
+            sys.getsizeof(obj)
+            for obj in (
+                self.index,
+                self.nodes,
+                self.succ_ids,
+                self.pred_ids,
+                self.out_offsets,
+                self.out_targets,
+                self.in_offsets,
+                self.in_sources,
+                self.out_degree,
+                self.in_degree,
+                self.source_ids,
+                self.sink_ids,
+                self.merge_ids,
+            )
+        )
+        total += sum(sys.getsizeof(t) for t in self.succ_ids)
+        total += sum(sys.getsizeof(t) for t in self.pred_ids)
+        if self.is_dag:
+            total += sum(
+                sys.getsizeof(obj)
+                for obj in (
+                    self._topo_order,
+                    self._topo_index,
+                    self._depth,
+                    self._level_offsets,
+                )
+            )
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledGraph(n={self.n}, m={self.m}, "
+            f"sources={len(self.source_ids)}, dag={self.is_dag})"
+        )

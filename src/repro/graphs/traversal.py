@@ -11,7 +11,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable
 
-from repro.exceptions import CyclicGraphError, MissingNodeError
+from repro.exceptions import MissingNodeError
 from repro.graphs.cgraph import CGraph
 
 Node = Hashable

@@ -19,6 +19,12 @@ Multiple sources generate *distinct* items (paper §3); per-item counts are
 computed independently and summed.  Because copies of distinct items never
 interact (filters deduplicate per item), this aggregation is exact.
 
+The sweeps run on the graph's compiled view
+(:meth:`repro.graphs.cgraph.CGraph.compiled`): interned integer ids, tuple
+adjacency and a cached topological order, so the hot loops index flat
+lists instead of hashing node objects.  :func:`item_receipts_ids` is the
+id-level primitive; the node-keyed entry points translate at the boundary.
+
 The aggregate entry points (:func:`node_receipts`, :func:`total_receipts`)
 dispatch through the pluggable backend registry
 (:mod:`repro.backends.registry`): the exact big-int sweeps below are the
@@ -38,8 +44,59 @@ from repro.graphs.cgraph import CGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.graphs.compiled import CompiledGraph
 
 Node = Hashable
+
+
+def loose_filter_mask(
+    compiled: "CompiledGraph", filters: Collection[Node]
+) -> bytearray:
+    """A 0/1 mask over interned ids, silently ignoring unknown nodes.
+
+    The per-item primitives historically tolerated filter sets referencing
+    nodes outside the graph (membership validation is the backends' job,
+    so every backend rejects identically); this helper preserves that.
+    """
+    mask = bytearray(compiled.n)
+    index_get = compiled.index.get
+    for v in filters:
+        i = index_get(v)
+        if i is not None:
+            mask[i] = 1
+    return mask
+
+
+def item_receipts_ids(
+    compiled: "CompiledGraph",
+    origin_id: int,
+    mask: bytearray,
+) -> list[int]:
+    """``ψ`` for one item as a list over interned ids — the hot primitive.
+
+    ``mask`` is a dense 0/1 filter-membership array
+    (:func:`loose_filter_mask` or
+    :meth:`~repro.graphs.compiled.CompiledGraph.filter_mask`).
+
+    The sweep gathers from predecessors (``ψ(v) = Σ_p emit(p)``) so the
+    per-edge work runs inside C (``sum(map(emit.__getitem__, parents))``)
+    instead of a Python scatter loop — the difference between the
+    pre-compile and compiled pure-python engines at paper scale.
+    """
+    received = [0] * compiled.n
+    emit = [0] * compiled.n
+    emit_get = emit.__getitem__
+    pred = compiled.pred_ids
+    for v in compiled.topo_order:
+        parents = pred[v]
+        if parents:
+            count = sum(map(emit_get, parents))
+            if count:
+                received[v] = count
+                emit[v] = 1 if mask[v] else count
+        if v == origin_id:
+            emit[v] = 1
+    return received
 
 
 def item_receipts(
@@ -63,25 +120,17 @@ def item_receipts(
         source of the graph — useful for what-if analyses.
     filters:
         Nodes equipped with deduplicating output filters.
+    _order:
+        Deprecated and ignored: the compiled view caches its own
+        topological order, so there is nothing left to amortize.
     """
-    if origin not in graph:
+    compiled = graph.compiled()
+    if origin not in compiled.index:
         raise MissingNodeError(origin)
-    filter_set = filters if isinstance(filters, (set, frozenset)) else set(filters)
-    order = _order if _order is not None else graph.topological_order()
-
-    received: dict[Node, int] = dict.fromkeys(order, 0)
-    for v in order:
-        if v == origin:
-            emit = 1
-        else:
-            count = received[v]
-            if count == 0:
-                continue
-            emit = 1 if v in filter_set else count
-        if emit:
-            for child in graph.successors(v):
-                received[child] += emit
-    return received
+    received = item_receipts_ids(
+        compiled, compiled.index[origin], loose_filter_mask(compiled, filters)
+    )
+    return dict(zip(compiled.nodes, received))
 
 
 def node_receipts(
@@ -119,20 +168,21 @@ def node_receipts_exact(
     backend's implementation; fast backends fall back here on overflow)."""
     if not graph.sources:
         raise MissingSourceError("graph has no sources")
-    order = graph.topological_order()
-    totals: dict[Node, int] = dict.fromkeys(graph.nodes(), 0)
-    for source in graph.sources:
+    compiled = graph.compiled()
+    mask = loose_filter_mask(compiled, filters)
+    totals = [0] * compiled.n
+    for origin_id in compiled.source_ids:
         if isinstance(items_per_source, Mapping):
-            weight = items_per_source.get(source, 0)
+            weight = items_per_source.get(compiled.nodes[origin_id], 0)
         else:
             weight = items_per_source
         if weight <= 0:
             continue
-        per_item = item_receipts(graph, source, filters, _order=order)
-        for node, count in per_item.items():
+        per_item = item_receipts_ids(compiled, origin_id, mask)
+        for v, count in enumerate(per_item):
             if count:
-                totals[node] += weight * count
-    return totals
+                totals[v] += weight * count
+    return dict(zip(compiled.nodes, totals))
 
 
 def total_receipts(

@@ -4,9 +4,10 @@ The batch CLI answers one question per process; this subsystem keeps the
 expensive state resident and shares it across requests:
 
 * :mod:`repro.service.store` — a content-addressed **GraphStore** holding
-  immutable :class:`~repro.graphs.cgraph.CGraph` instances (with their
-  topological order and propagation-backend plans warmed) under SHA-256
-  digests.
+  immutable :class:`~repro.graphs.cgraph.CGraph` instances (each with its
+  single shared compiled plan warmed — one
+  :class:`~repro.graphs.compiled.CompiledGraph` per digest, consumed by
+  every backend) under SHA-256 digests.
 * :mod:`repro.service.cache` — a **PlacementCache** keyed by
   ``(graph_digest, algorithm, strategy, backend, k, rng_seed)`` with LRU +
   size-bounded eviction and greedy prefix reuse (any ``k' ≤ k`` request is

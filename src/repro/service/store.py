@@ -1,12 +1,13 @@
 """The GraphStore: resident graphs under content-addressed digests.
 
 Registering a graph is where the service pays its one-time costs — build
-the immutable :class:`~repro.graphs.cgraph.CGraph`, compute its
-topological order, warm every available propagation backend's per-graph
-plan (the NumPy backend's levelization CSRs are cached weakly per graph,
-so keeping the graph resident keeps the plan resident), and compute the
-per-graph objective constants ``Φ(∅)`` and ``F(V)``.  Every subsequent
-placement request reuses all of it.
+the immutable :class:`~repro.graphs.cgraph.CGraph`, warm its **one**
+shared compiled plan (:meth:`CGraph.compiled`: interned ids, CSR both
+ways, cached topological order and level partition — the view every
+backend, session and algorithm consumes), and compute the per-graph
+objective constants ``Φ(∅)`` and ``F(V)``.  Every subsequent placement
+request — on any backend, under any strategy — reuses all of it; there
+is exactly one compiled plan per digest, not one per backend.
 
 Content addressing makes registration idempotent: the digest is a SHA-256
 over the sorted ``repr`` of nodes, edges and sources, so the same graph —
@@ -174,9 +175,13 @@ class GraphStore:
         wrong answer — a re-registration restores the same digest and the
         cached placements still apply.
     warm_backends:
-        Warm every available propagation backend's per-graph plan at
-        registration (skipped automatically for cyclic graphs, which the
-        planners reject).
+        At registration, build the graph's single shared compiled plan
+        and each available backend's thin adapter over it (skipped
+        automatically for cyclic graphs, whose topological accessors
+        the consumers reject).  Since the compile-once refactor the
+        structure itself exists exactly once; what each backend warms
+        is only its derived view (the NumPy backend's level groupings
+        and overflow probe).
     """
 
     def __init__(
@@ -233,8 +238,13 @@ class GraphStore:
             ):
                 self._entries.popitem(last=False)
         if self._warm_backends and graph.is_dag():
-            # Pay plan construction once, outside any request's timing.
-            graph.topological_order()
+            # Pay the one-time costs at registration, outside any
+            # request's timing: the single shared compiled plan, plus
+            # each available backend's thin adapter over it (for the
+            # NumPy backend that includes its overflow probe — genuinely
+            # backend-private, but derived from the same structure, not
+            # a second copy of it).
+            graph.compiled()
             from repro.backends.registry import (
                 available_backends,
                 get_backend,

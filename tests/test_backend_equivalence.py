@@ -186,3 +186,25 @@ def test_use_backend_restores_default():
         assert backend.name == "python"
         assert get_default_backend() is backend
     assert get_default_backend() is before
+
+
+def test_plan_cache_does_not_pin_discarded_graphs():
+    """The weak-keyed plan cache must let graphs (and plans) die.
+
+    Regression for the compile-once refactor: a _Plan that referenced
+    its CompiledGraph would reach back to the CGraph key and pin the
+    WeakKeyDictionary entry forever — exactly the leak the weak cache
+    exists to prevent in the long-running service.
+    """
+    import gc
+    import weakref
+
+    backend = NumpyBackend()
+    graph = get_dataset("fig10")
+    backend.plan_for(graph)
+    ref = weakref.ref(graph)
+    assert len(backend._plans) == 1
+    del graph
+    gc.collect()
+    assert ref() is None, "graph pinned by its own plan"
+    assert len(backend._plans) == 0

@@ -6,11 +6,7 @@ import json
 
 import pytest
 
-from repro.bench.compare import (
-    compare_documents,
-    format_comparison,
-    summarize_speedups,
-)
+from repro.bench.compare import compare_documents, format_comparison
 from repro.bench.harness import render_records, run_suite
 from repro.bench.instrument import CountingBackend
 from repro.bench.results import (
