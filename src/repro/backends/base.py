@@ -48,9 +48,12 @@ Use :func:`repro.backends.registry.get_backend` /
 from __future__ import annotations
 
 from collections.abc import Collection, Iterable, Mapping, Sequence
-from typing import Hashable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Hashable, Protocol, runtime_checkable
 
 from repro.graphs.cgraph import CGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.propagation.model import PropagationModel
 
 Node = Hashable
 
@@ -206,6 +209,84 @@ class PropagationBackend(Protocol):
         Construction costs one full sweep (the same work as a single
         :meth:`marginal_gains` call); every subsequent
         :meth:`GainSession.add_filter` is regional.
+        """
+        ...  # pragma: no cover
+
+    # -- propagation-model axis -----------------------------------------
+    # Sample-average evaluation under a probabilistic relaying model
+    # (:class:`repro.propagation.model.PropagationModel`).  The contract
+    # mirrors the deterministic one: ``sampled_*`` results are **exact
+    # integers summed over the model's sampled worlds** (common random
+    # numbers — every evaluation of a run shares one world set), so they
+    # are bit-identical across backends and byte-reproducible per seed;
+    # the ``expected_*`` entry points divide by ``trials`` at the
+    # reporting boundary.  ``model=None`` is deterministic relaying and
+    # must take exactly the deterministic path.
+
+    def sampled_marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> "Sequence[int]":
+        """``Σ_t I_t(v | A)`` as a list indexed by interned node id."""
+        ...  # pragma: no cover
+
+    def sampled_simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> "Sequence[int]":
+        """``Σ_t ψ_t(v) · dout_t(v)`` as a list indexed by interned id."""
+        ...  # pragma: no cover
+
+    def sampled_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> int:
+        """``Σ_t Φ_t(A, V)`` — exact; ``/ trials`` is the SAA estimate."""
+        ...  # pragma: no cover
+
+    def expected_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> float:
+        """SAA estimate of ``E[Φ(A, V)]`` (exact ``Φ`` when no model)."""
+        ...  # pragma: no cover
+
+    def expected_marginal_gains(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> dict[Node, float]:
+        """SAA estimate of ``E[I(v | A)]`` for every node at once."""
+        ...  # pragma: no cover
+
+    def sampled_gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> GainSession:
+        """A :class:`GainSession` over the summed-over-worlds SAA gains.
+
+        With ``model=None`` this is exactly :meth:`gain_session`.  The
+        SAA session satisfies the same interface; its updates recompute
+        the batched gains rather than walking a regional wavefront, so
+        CELF stays correct (and still saves its O(1) stale refreshes)
+        at eager-like per-placement cost.
         """
         ...  # pragma: no cover
 

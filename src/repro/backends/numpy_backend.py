@@ -46,6 +46,7 @@ from repro.exceptions import MissingSourceError
 from repro.graphs.cgraph import CGraph
 from repro.graphs.validation import validate_filter_set
 from repro.backends.python_backend import PythonBackend
+from repro.backends.sampled import SampledEvaluationMixin
 
 Node = Hashable
 
@@ -98,6 +99,18 @@ class _Level:
     bwd_offsets: Any  # intp[...] — reduceat segment starts
     origin_rows: Any  # intp[...] — ψ rows whose source sits in this level
     origin_cols: Any  # intp[...] — matching positions within ``nodes``
+    # Global forward-CSR edge positions of the level's edges, in each
+    # grouping's order — how the sampled live-edge masks (trial × edge)
+    # are gathered per level for the probabilistic batched sweeps.
+    fwd_edge_ids: Any = None  # intp[num_edges] — dst-grouped order
+    bwd_edge_ids: Any = None  # intp[num_edges] — src-grouped (CSR) order
+    # Sampled-sweep gather tables (dst-grouped order): the global source
+    # node of each edge, plus the subset of edges whose source is an item
+    # origin (with the matching ψ item row).  The sampled forward pass
+    # gathers emissions straight from ψ rows and fixes up only these.
+    fwd_src_global: Any = None  # intp[num_edges]
+    fwd_origin_sel: Any = None  # intp[...] — edge positions with origin src
+    fwd_origin_row: Any = None  # intp[...] — their ψ item rows
 
     @property
     def has_edges(self) -> bool:
@@ -143,6 +156,13 @@ class _Plan:
     prod_bound: float = 0.0
     #: max over v of Σ_s ψ_∅(v) — bounds every per-node receipt total.
     psi_bound: float = 0.0
+    #: max over (level, item) of the level's total forward emission, and
+    #: max over levels of Σ (1 + W_∅(dst)) — bounds of the *cumulative*
+    #: segment sums the sampled sweeps run per level (their prefix-sum
+    #: trick sums a whole level before differencing, so the intermediate
+    #: can exceed any single node's value).
+    fwd_levelsum_bound: float = 0.0
+    bwd_levelsum_bound: float = 0.0
     #: When True the int64 path is unsafe; delegate to the exact backend.
     exact_only: bool = False
 
@@ -151,7 +171,32 @@ class _Plan:
         return len(self.node_list)
 
 
-class NumpyBackend:
+@dataclass
+class _SampledState:
+    """Per-(graph, model) adapter over the shared sampled worlds.
+
+    Holds the (trials × edges) live-edge masks pre-gathered per level in
+    both sweep groupings, plus the per-world live out-degrees and the
+    trials-aware overflow verdict.  The coin flips themselves live in
+    :class:`repro.propagation.sampling.SampledWorlds` (shared with the
+    python backend — same worlds, bit-identical results); this is only
+    the ndarray view of them.
+    """
+
+    trials: int
+    live_fwd: list  # per level: dtype[(trials, level_edges)], dst-grouped
+    live_bwd: list  # per level: dtype[(trials, level_edges)], CSR order
+    fwd_ends: list  # per level: intp[...] — closing segment boundaries
+    bwd_ends: list  # per level: intp[...] — closing segment boundaries
+    out_degree: Any  # int64[(trials, n)] — live out-degree per world
+    #: Working dtype of the hot path (int32 when the probe's level-sum
+    #: bounds allow, halving memory traffic; int64 otherwise).
+    dtype: Any = None
+    #: True when summing across worlds could overrun int64; delegate.
+    exact_only: bool = False
+
+
+class NumpyBackend(SampledEvaluationMixin):
     """Levelized dense propagation on int64 arrays, exact or bust."""
 
     name = "numpy"
@@ -167,6 +212,12 @@ class NumpyBackend:
         # with their graphs instead of pinning discarded graphs alive in
         # the registry's singleton backend.
         self._plans: "weakref.WeakKeyDictionary[CGraph, _Plan]" = (
+            weakref.WeakKeyDictionary()
+        )
+        # Per-graph sampled-world adapters (per-level live-mask gathers),
+        # keyed inside by the model's worlds_key() — same lifetime rules
+        # as the plans.
+        self._sampled: "weakref.WeakKeyDictionary[CGraph, dict]" = (
             weakref.WeakKeyDictionary()
         )
 
@@ -278,13 +329,21 @@ class NumpyBackend:
                 dst_sorted = dst_global[by_dst]
                 fwd_offsets = group_starts(dst_sorted)
                 fwd_uniq_dst = dst_sorted[fwd_offsets]
-                fwd_src_local = local_pos[src_global[by_dst]]
+                fwd_src_global = src_global[by_dst]
+                fwd_src_local = local_pos[fwd_src_global]
+                fwd_edge_ids = eids[by_dst]
+                src_rows = col_to_row[fwd_src_global]
+                fwd_origin_sel = np.flatnonzero(src_rows >= 0)
+                fwd_origin_row = src_rows[fwd_origin_sel]
                 bwd_offsets = group_starts(src_global)
                 bwd_uniq_src = src_global[bwd_offsets]
+                bwd_edge_ids = eids
             else:
                 empty = np.empty(0, dtype=np.intp)
                 fwd_offsets = fwd_uniq_dst = fwd_src_local = empty
                 bwd_offsets = bwd_uniq_src = empty
+                fwd_edge_ids = bwd_edge_ids = empty
+                fwd_src_global = fwd_origin_sel = fwd_origin_row = empty
             origin_rows = [
                 row for row, si in enumerate(source_idx) if depth[si] == lvl
             ]
@@ -300,6 +359,11 @@ class NumpyBackend:
                     bwd_offsets=bwd_offsets,
                     origin_rows=np.array(origin_rows, dtype=np.intp),
                     origin_cols=np.array(origin_cols, dtype=np.intp),
+                    fwd_edge_ids=fwd_edge_ids,
+                    bwd_edge_ids=bwd_edge_ids,
+                    fwd_src_global=fwd_src_global,
+                    fwd_origin_sel=fwd_origin_sel,
+                    fwd_origin_row=fwd_origin_row,
                 )
             )
 
@@ -318,22 +382,33 @@ class NumpyBackend:
         n = plan.n
         num_sources = len(plan.sources)
         psi = np.zeros((num_sources, n), dtype=np.float64)
+        fwd_levelsum = 0.0
         for lvl in plan.levels:
             if not lvl.has_edges:
                 continue
             emit = psi[:, lvl.nodes]  # fancy index: a fresh copy, safe to edit
             if lvl.origin_rows.size:
                 emit[lvl.origin_rows, lvl.origin_cols] = 1.0
+            edge_emit = emit[:, lvl.fwd_src_local]
+            if edge_emit.size:
+                fwd_levelsum = max(
+                    fwd_levelsum, float(edge_emit.sum(axis=1).max())
+                )
             psi[:, lvl.fwd_uniq_dst] += np.add.reduceat(
-                emit[:, lvl.fwd_src_local], lvl.fwd_offsets, axis=1
+                edge_emit, lvl.fwd_offsets, axis=1
             )
         w = np.zeros(n, dtype=np.float64)
+        bwd_levelsum = 0.0
         for lvl in reversed(plan.levels):
             if not lvl.has_edges:
                 continue
+            contrib = 1.0 + w[lvl.bwd_dst]
+            bwd_levelsum = max(bwd_levelsum, float(contrib.sum()))
             w[lvl.bwd_uniq_src] += np.add.reduceat(
-                1.0 + w[lvl.bwd_dst], lvl.bwd_offsets
+                contrib, lvl.bwd_offsets
             )
+        plan.fwd_levelsum_bound = fwd_levelsum
+        plan.bwd_levelsum_bound = bwd_levelsum
         totals = psi.sum(axis=0) if num_sources else np.zeros(n)
         plan.psi_bound = float(totals.max()) if n else 0.0
         plan.prod_bound = float((totals * w).max()) if n else 0.0
@@ -556,6 +631,292 @@ class NumpyBackend:
         psi = self._psi_matrix(plan, self._mask_from_ids(plan, filter_ids))
         scores = psi.sum(axis=0) * plan.out_degree
         return scores.tolist()
+
+    # ------------------------------------------------------------------
+    # Propagation-model axis: batched sampled-world sweeps
+    # ------------------------------------------------------------------
+    #
+    # The sampled worlds (shared with the python backend, see
+    # repro.propagation.sampling) become one extra *sample axis* on the
+    # level-synchronous sweeps: ψ grows from (S, n) to (T, S, n) and W
+    # from (n,) to (T, n), with each level's scatter multiplied by the
+    # level's (T, E_l) live-edge mask before the reduceat.  No per-trial
+    # graph rebuilds, no per-trial python loops — one pass prices every
+    # (world, item) pair simultaneously.
+
+    def _sampled_state(self, graph: CGraph, plan: _Plan, model) -> "_SampledState":
+        from collections import OrderedDict
+
+        from repro.propagation.sampling import MAX_WORLD_SETS_PER_GRAPH
+
+        per_graph = self._sampled.get(graph)
+        if per_graph is None:
+            per_graph = self._sampled.setdefault(graph, OrderedDict())
+        key = model.worlds_key()
+        state = per_graph.get(key)
+        if state is None:
+            state = self._build_sampled_state(graph, plan, model)
+            per_graph[key] = state
+            # Same LRU bound (and same safety argument) as the shared
+            # worlds cache: states are pure functions of the key, so
+            # eviction costs a rebuild, never a changed result.
+            while len(per_graph) > MAX_WORLD_SETS_PER_GRAPH:
+                per_graph.popitem(last=False)
+        else:
+            per_graph.move_to_end(key)
+        return state
+
+    def _build_sampled_state(
+        self, graph: CGraph, plan: _Plan, model
+    ) -> "_SampledState":
+        from repro.propagation.sampling import get_worlds
+
+        np = self._np
+        worlds = get_worlds(graph, model)
+        trials = worlds.trials
+        m = len(worlds.probs.out_probs)
+        live = (
+            np.frombuffer(worlds.mask_bytes(), dtype=np.uint8)
+            .reshape(trials, m)
+            .astype(np.int64)
+        )
+        # The deterministic A = ∅ probe bounds every per-world value (a
+        # live-edge world is an edge subset; counts are monotone in
+        # edges).  Two derived checks: the final cross-world sum must fit
+        # int64, and the working dtype must hold every intermediate —
+        # the per-level prefix sums of the cumsum-difference segment
+        # trick (levelsum bounds; they also cover each W entry, which
+        # accumulates from exactly one level) *and* the stored ψ entries,
+        # which accumulate across levels when a node's parents span
+        # several and are bounded by psi_bound, not by any single level.
+        # int32 halves the hot path's memory traffic when everything
+        # comfortably fits; int64 otherwise.
+        bound = max(plan.psi_bound, plan.prod_bound)
+        levelsum = max(plan.fwd_levelsum_bound, plan.bwd_levelsum_bound)
+        exact_only = (
+            plan.exact_only
+            or not math.isfinite(bound)
+            or not math.isfinite(levelsum)
+            or trials * bound >= OVERFLOW_LIMIT
+            or levelsum >= OVERFLOW_LIMIT
+        )
+        dtype = (
+            np.int32
+            if max(levelsum, plan.psi_bound) < float(2**30)
+            else np.int64
+        )
+        # Pre-gather each level's live columns once (both groupings),
+        # trials-major — matching the sweeps' row layout, where
+        # per-(world, item) rows stay cache-resident and the segment-sum
+        # cumsum runs along the contiguous last axis.  The forward masks
+        # are row-repeated per item (ψ row ``t·S + s`` is world ``t``'s
+        # item ``s``); the backward ``W`` is item-independent.
+        S = len(plan.sources)
+        live_fwd = []
+        for lvl in plan.levels:
+            # order="C": the fancy column gather returns transposed
+            # strides, and a non-contiguous operand would poison every
+            # hot-path multiply that touches it.
+            fwd = live[:, lvl.fwd_edge_ids].astype(dtype, order="C")
+            if S > 1:
+                fwd = np.repeat(fwd, S, axis=0)
+            live_fwd.append(fwd)
+        live_bwd = [
+            live[:, lvl.bwd_edge_ids].astype(dtype, order="C")
+            for lvl in plan.levels
+        ]
+        # Segment ends per level grouping: segments are contiguous and
+        # cover the level exactly, so the cumsum trick needs only the
+        # starts (already on the level) plus this closing boundary.
+        fwd_ends = [
+            np.append(lvl.fwd_offsets[1:], lvl.fwd_src_global.size)
+            for lvl in plan.levels
+        ]
+        bwd_ends = [
+            np.append(lvl.bwd_offsets[1:], lvl.bwd_dst.size)
+            for lvl in plan.levels
+        ]
+        # Per-world live out-degree (Greedy_L's dout_t), via cumsum
+        # differences so zero-degree nodes need no special case.
+        cs = np.zeros((trials, m + 1), dtype=np.int64)
+        np.cumsum(live, axis=1, out=cs[:, 1:])
+        out_degree = cs[:, plan.out_offsets[1:]] - cs[:, plan.out_offsets[:-1]]
+        return _SampledState(
+            trials=trials,
+            live_fwd=live_fwd,
+            live_bwd=live_bwd,
+            fwd_ends=fwd_ends,
+            bwd_ends=bwd_ends,
+            out_degree=out_degree,
+            dtype=dtype,
+            exact_only=exact_only,
+        )
+
+    def _sampled_psi(self, plan: _Plan, state: "_SampledState", mask: Any) -> Any:
+        """``ψ`` for all (world, item) pairs: shape ``(trials · S, n)``.
+
+        Flat row-per-(world, item) layout with nodes last: each ``ψ``
+        row is a few kilobytes, so the per-edge emission gather stays
+        cache-resident, and the per-destination segment sums run as an
+        in-place cumsum difference along the contiguous last axis
+        (``reduceat``'s per-segment dispatch is what made the naive
+        batched sweep no faster than the python loop).  Emissions are
+        gathered straight from ``ψ`` and fixed up only where they
+        differ: the few filter-source edge columns (clamp to 0/1) and
+        origin-source edges (pinned to 1 in their item's rows), instead
+        of materializing a per-level emit block.
+        """
+        np = self._np
+        S = len(plan.sources)
+        rows = state.trials * S
+        psi = np.zeros((rows, plan.n), dtype=state.dtype)
+        for i, lvl in enumerate(plan.levels):
+            if not lvl.has_edges:
+                continue
+            src = lvl.fwd_src_global
+            contrib = np.take(psi, src, axis=1)  # (rows, E), C-contiguous
+            msk = mask[src]
+            if msk.any():
+                contrib[:, msk] = contrib[:, msk] > 0
+            if lvl.fwd_origin_sel.size:
+                if S == 1:
+                    contrib[:, lvl.fwd_origin_sel] = 1
+                else:
+                    # Row t·S + s holds item s of world t: the item rows
+                    # of source s are the strided slice s::S.
+                    for pos, s_row in zip(
+                        lvl.fwd_origin_sel, lvl.fwd_origin_row
+                    ):
+                        contrib[s_row::S, pos] = 1
+            contrib *= state.live_fwd[i]
+            # Segment sums by cumsum difference: segments (one per
+            # destination) tile the level's edges contiguously, and the
+            # probe's fwd_levelsum_bound guarantees the level-wide
+            # prefix sums fit the working dtype.
+            cs = np.cumsum(contrib, axis=1, out=contrib)
+            hi = cs[:, state.fwd_ends[i] - 1]
+            lo = cs[:, lvl.fwd_offsets - 1]
+            lo[:, 0] = 0  # the first segment starts at edge 0
+            hi -= lo
+            psi[:, lvl.fwd_uniq_dst] += hi
+        return psi
+
+    def _sampled_w(self, plan: _Plan, state: "_SampledState", mask: Any) -> Any:
+        """``W`` for all worlds in one backward sweep: shape ``(trials, n)``."""
+        np = self._np
+        w = np.zeros((state.trials, plan.n), dtype=state.dtype)
+        for i in range(len(plan.levels) - 1, -1, -1):
+            lvl = plan.levels[i]
+            if not lvl.has_edges:
+                continue
+            live = state.live_bwd[i]
+            wd = np.take(w, lvl.bwd_dst, axis=1)  # (T, E), C-contiguous
+            dmsk = mask[lvl.bwd_dst]
+            if dmsk.any():
+                wd[:, dmsk] = 0  # filters absorb the perturbation
+            # live · (1 + W(dst)) as mask arithmetic: zero dead edges,
+            # then add the mask itself (the +1 of live edges only).
+            wd *= live
+            wd += live
+            cs = np.cumsum(wd, axis=1, out=wd)
+            hi = cs[:, state.bwd_ends[i] - 1]
+            lo = cs[:, lvl.bwd_offsets - 1]
+            lo[:, 0] = 0
+            hi -= lo
+            w[:, lvl.bwd_uniq_src] += hi
+        return w
+
+    def sampled_marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+        *,
+        model=None,
+    ) -> list[int]:
+        """``Σ_t I_t(v | A)`` over interned ids — one batched sweep."""
+        if model is None:
+            return self.marginal_gains_ids(graph, filter_ids)
+        if not graph.sources:
+            raise MissingSourceError("graph has no sources")
+        np = self._np
+        plan = self.plan_for(graph)
+        state = self._sampled_state(graph, plan, model)
+        if state.exact_only:
+            return self._exact.sampled_marginal_gains_ids(
+                graph, filter_ids, model=model
+            )
+        mask = self._mask_from_ids(plan, filter_ids)
+        psi = self._sampled_psi(plan, state, mask)
+        w = self._sampled_w(plan, state, mask)
+        surplus = psi - 1
+        np.maximum(surplus, 0, out=surplus)
+        # Reductions leave the (possibly int32) hot path: per-(node,
+        # world) products and the cross-world sum run in int64, which the
+        # trials-aware probe check guarantees is enough.
+        per_world = surplus.reshape(
+            state.trials, len(plan.sources), plan.n
+        ).sum(axis=1, dtype=np.int64)
+        gains = (per_world * w.astype(np.int64, copy=False)).sum(axis=0)
+        gains[mask] = 0
+        return gains.tolist()
+
+    def sampled_simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+        *,
+        model=None,
+    ) -> list[int]:
+        """``Σ_t ψ_t(v) · dout_t(v)`` over interned ids, batched."""
+        if model is None:
+            return self.simplified_impacts_ids(graph, filter_ids)
+        plan = self.plan_for(graph)
+        state = self._sampled_state(graph, plan, model)
+        if state.exact_only:
+            return self._exact.sampled_simplified_impacts_ids(
+                graph, filter_ids, model=model
+            )
+        np = self._np
+        mask = self._mask_from_ids(plan, filter_ids)
+        psi = self._sampled_psi(plan, state, mask)
+        totals = psi.reshape(
+            state.trials, len(plan.sources), plan.n
+        ).sum(axis=1, dtype=np.int64)
+        scores = (totals * state.out_degree).sum(axis=0)
+        return scores.tolist()
+
+    def sampled_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ) -> int:
+        """``Σ_t Φ_t(A, V)`` — per-(world, node) int64, summed in Python.
+
+        Only per-entry values need the int64 range (all covered by the
+        probe bound); the grand total is accumulated as Python ints,
+        mirroring the deterministic ``total_receipts``.
+        """
+        if model is None:
+            return self.total_receipts(graph, filters)
+        if not graph.sources:
+            raise MissingSourceError("graph has no sources")
+        validate_filter_set(graph, set(filters))
+        plan = self.plan_for(graph)
+        state = self._sampled_state(graph, plan, model)
+        if state.exact_only:
+            return self._exact.sampled_total_receipts(
+                graph, filters, model=model
+            )
+        np = self._np
+        mask = self._filter_mask(plan, filters)
+        psi = self._sampled_psi(plan, state, mask)
+        return sum(psi.sum(axis=0, dtype=np.int64).tolist())
+
+    # expected_total_receipts / expected_marginal_gains /
+    # sampled_gain_session come from SampledEvaluationMixin — one shared
+    # reporting boundary over this backend's batched sampled sweeps.
 
     def warm(self, graph: CGraph) -> None:
         """Adapt (and cache) the shared compiled plan outside timed regions."""

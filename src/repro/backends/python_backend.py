@@ -15,15 +15,19 @@ representable range is at risk.
 from __future__ import annotations
 
 from collections.abc import Collection, Iterable, Mapping
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
+from repro.backends.sampled import SampledEvaluationMixin
 from repro.graphs.cgraph import CGraph
 from repro.graphs.validation import validate_filter_set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.propagation.model import PropagationModel
 
 Node = Hashable
 
 
-class PythonBackend:
+class PythonBackend(SampledEvaluationMixin):
     """Exact big-int propagation (the seed implementation, unchanged).
 
     Filter sets are validated here (not in the exact sweeps, which other
@@ -118,6 +122,66 @@ class PythonBackend:
         from repro.backends.incremental import ExactGainSession
 
         return ExactGainSession(graph, filters)
+
+    # -- propagation-model axis -----------------------------------------
+    # The per-trial reference implementations: one exact sweep per world
+    # over the pruned adjacency of :mod:`repro.propagation.sampling`.
+    # Every fast backend must agree bit-for-bit (and falls back here when
+    # its representable range is at risk).
+
+    def sampled_marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> list[int]:
+        """``Σ_t I_t(v | A)`` over interned ids — exact big-int SAA."""
+        if model is None:
+            return self.marginal_gains_ids(graph, filter_ids)
+        from repro.propagation.sampling import (
+            sampled_marginal_gains_ids_exact,
+        )
+
+        return sampled_marginal_gains_ids_exact(
+            graph, filter_ids, model=model
+        )
+
+    def sampled_simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> list[int]:
+        """``Σ_t ψ_t(v) · dout_t(v)`` over interned ids — exact SAA."""
+        if model is None:
+            return self.simplified_impacts_ids(graph, filter_ids)
+        from repro.propagation.sampling import (
+            sampled_simplified_impacts_ids_exact,
+        )
+
+        return sampled_simplified_impacts_ids_exact(
+            graph, filter_ids, model=model
+        )
+
+    def sampled_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model: "PropagationModel | None" = None,
+    ) -> int:
+        """``Σ_t Φ_t(A, V)`` — exact integer, per-world sweeps."""
+        if model is None:
+            return self.total_receipts(graph, filters)
+        from repro.propagation.sampling import sampled_total_receipts_exact
+
+        return sampled_total_receipts_exact(graph, filters, model=model)
+
+    # expected_total_receipts / expected_marginal_gains /
+    # sampled_gain_session come from SampledEvaluationMixin — one shared
+    # reporting boundary over this backend's per-trial exact sweeps.
 
     def warm(self, graph: CGraph) -> None:
         """Build (and cache) the shared compiled view.

@@ -216,6 +216,52 @@ def cache_speedup(
     return ratios
 
 
+def mc_speedup(
+    records_or_rows: Sequence[Any],
+    *,
+    baseline: str = "python",
+) -> dict[str, float]:
+    """Per-cell Monte-Carlo speedup: per-trial python loop vs batched numpy.
+
+    Restricted to probabilistic cells (``model != "deterministic"``) and
+    matched across the backend axis only — dataset, algorithm, ``k``,
+    model, ``edge_prob`` and ``trials`` all identical.  The ratio is
+    ``baseline_seconds / other_seconds`` for each non-baseline backend:
+    how many times faster the batched sample-axis sweeps evaluate the
+    same worlds than the per-trial pure-Python loop.  The acceptance bar
+    is ≥ 10 on the ``n≈2000 / 64 samples`` cell of the ``probabilistic``
+    suite (recorded in the committed ``BENCH.json``).
+
+    Accepts :class:`~repro.bench.results.BenchRecord` objects or raw
+    ``results`` rows; returns ``{non-baseline-cell-key: ratio}``.
+    """
+    rows = [
+        r.to_json_dict() if hasattr(r, "to_json_dict") else r
+        for r in records_or_rows
+    ]
+    prob_rows = [
+        row for row in rows
+        if row.get("model", "deterministic") != "deterministic"
+    ]
+    # Probabilistic keys look like …/k10/<backend>/<model-pP-tT>: strip
+    # the backend component (second-to-last) to get the match stem.
+    base: dict[str, float] = {}
+    others: dict[str, tuple[str, float]] = {}
+    for row in prob_rows:
+        head, _, model_part = row["key"].rpartition("/")
+        stem_head, _, backend = head.rpartition("/")
+        stem = f"{stem_head}/{model_part}"
+        if backend == baseline:
+            base[stem] = float(row["seconds"])
+        else:
+            others[row["key"]] = (stem, float(row["seconds"]))
+    speedups: dict[str, float] = {}
+    for key, (stem, seconds) in others.items():
+        if stem in base and seconds > 0:
+            speedups[key] = base[stem] / seconds
+    return speedups
+
+
 def summarize_speedups(
     records_or_rows: Sequence[Any],
     *,

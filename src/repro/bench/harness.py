@@ -39,6 +39,20 @@ def _load_graph(scenario: BenchScenario) -> CGraph:
     return get_dataset(scenario.dataset, **kwargs)
 
 
+def _scenario_model(scenario: BenchScenario):
+    """The scenario's resolved PropagationModel (None = deterministic)."""
+    if scenario.model == "deterministic":
+        return None
+    from repro.propagation.model import build_model
+
+    return build_model(
+        scenario.model,
+        edge_prob=scenario.edge_prob,
+        trials=scenario.trials,
+        seed=scenario.seed,
+    )
+
+
 def run_compile_scenario(
     scenario: BenchScenario,
     *,
@@ -120,19 +134,25 @@ def run_scenario(
     if graph is None:
         graph = _load_graph(scenario)
     backend = get_backend(scenario.backend)
+    model = _scenario_model(scenario)
     # Plan work happens outside the timed region — the shared compiled
     # view plus the backend's adapter over it — and is *measured* so
     # BENCH.json reports the split instead of hiding the cost.  On a
     # pre-compiled graph (the run_suite path) the first term is ~0 and
-    # ``compile_seconds`` carries the real number.
+    # ``compile_seconds`` carries the real number.  For probabilistic
+    # cells one untimed evaluation additionally samples the worlds and
+    # builds the backend's live-mask adapters — the model's one-time
+    # cost, amortized by every timed evaluation exactly as in a real run.
     start = time.perf_counter()
     graph.compiled()
     backend.warm(graph)
+    if model is not None:
+        backend.sampled_marginal_gains_ids(graph, (), model=model)
     plan_seconds = time.perf_counter() - start
     if compile_seconds is not None:
         plan_seconds += compile_seconds
     counting = CountingBackend(backend)
-    algorithm = get_algorithm(scenario.algorithm)
+    algorithm = get_algorithm(scenario.algorithm, model=model)
 
     best = float("inf")
     result = None
@@ -144,6 +164,33 @@ def run_scenario(
             elapsed = time.perf_counter() - start
             best = min(best, elapsed)
     assert result is not None  # repeats >= 1
+
+    if model is not None:
+        # SAA scoring: every estimate averages the cell's shared worlds,
+        # so objective and FR are mutually consistent floats.
+        from repro.core.objective import expected_phi
+
+        phi_empty_x = expected_phi(graph, (), model=model, backend=backend)
+        f_max_x = phi_empty_x - expected_phi(
+            graph, graph.nodes(), model=model, backend=backend
+        )
+        objective_x = phi_empty_x - expected_phi(
+            graph, result.filters, model=model, backend=backend
+        )
+        fr_x = 1.0 if f_max_x == 0 else objective_x / f_max_x
+        return BenchRecord(
+            scenario=scenario,
+            nodes=graph.number_of_nodes(),
+            edges=graph.number_of_edges(),
+            seconds=best,
+            repeats=repeats,
+            plan_seconds=plan_seconds,
+            evaluations=dict(counting.counts),
+            filters=tuple(repr(v) for v in result.filters),
+            filters_found=len(result.filters),
+            objective=objective_x,
+            filter_ratio=fr_x,
+        )
 
     # Score with at most three sweeps: Φ(∅) and Φ(V) (amortizable via
     # phi_constants) plus Φ(A), each exactly once.
@@ -237,7 +284,7 @@ def render_records(records: Sequence[BenchRecord]) -> str:
     from repro.bench.instrument import incremental_count, sweep_count
 
     headers = [
-        "dataset", "alg", "k", "backend", "nodes", "edges",
+        "dataset", "alg", "k", "backend", "model", "nodes", "edges",
         "ms", "plan ms", "sweeps", "inc", "FR",
     ]
     rows = []
@@ -248,11 +295,16 @@ def render_records(records: Sequence[BenchRecord]) -> str:
             algorithm += ":cold"
         elif s.mode == "service_hit":
             algorithm += ":hit"
+        if s.model == "deterministic":
+            model = "-"
+        else:
+            model = f"{s.model} p{s.edge_prob:g} t{s.trials}"
         rows.append([
             s.dataset if s.scale is None else f"{s.dataset}@{s.scale:g}",
             algorithm,
             str(s.k),
             s.backend,
+            model,
             str(r.nodes),
             str(r.edges),
             f"{r.seconds * 1e3:.1f}",

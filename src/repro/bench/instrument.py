@@ -167,6 +167,85 @@ class CountingBackend:
             self.inner.gain_session(graph, filters), self.counts
         )
 
+    # -- propagation-model axis -------------------------------------------
+    # Sampled evaluations batch the model's worlds into one call; each
+    # call is one (T-fold) whole-graph pass, so it lands on the same
+    # counter as its deterministic counterpart — the sweep/incremental
+    # split stays comparable across the model axis.
+
+    def sampled_marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[Node] = (),
+        *,
+        model=None,
+    ):
+        """Forward the sampled gains batch, counted as ``marginal_gains``."""
+        self.counts["marginal_gains"] += 1
+        return self.inner.sampled_marginal_gains_ids(
+            graph, filter_ids, model=model
+        )
+
+    def sampled_simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[Node] = (),
+        *,
+        model=None,
+    ):
+        """Forward the sampled ``I'`` batch, counted as ``simplified_impacts``."""
+        self.counts["simplified_impacts"] += 1
+        return self.inner.sampled_simplified_impacts_ids(
+            graph, filter_ids, model=model
+        )
+
+    def sampled_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ) -> int:
+        """Forward the sampled ``Φ`` batch, counted as ``total_receipts``."""
+        self.counts["total_receipts"] += 1
+        return self.inner.sampled_total_receipts(graph, filters, model=model)
+
+    def expected_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ) -> float:
+        """Forward the SAA ``Φ`` estimate, counted as ``total_receipts``."""
+        self.counts["total_receipts"] += 1
+        return self.inner.expected_total_receipts(graph, filters, model=model)
+
+    def expected_marginal_gains(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ):
+        """Forward the SAA gain estimate, counted as ``marginal_gains``."""
+        self.counts["marginal_gains"] += 1
+        return self.inner.expected_marginal_gains(graph, filters, model=model)
+
+    def sampled_gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ) -> "CountingGainSession":
+        """Open a counted SAA session (``session_init`` batched sweep)."""
+        self.counts["session_init"] += 1
+        return CountingGainSession(
+            self.inner.sampled_gain_session(graph, filters, model=model),
+            self.counts,
+        )
+
     def warm(self, graph: CGraph) -> None:
         """Forward warm-up uncounted — preprocessing, not an evaluation."""
         self.inner.warm(graph)

@@ -37,6 +37,12 @@ Built-in suites
     footprint (``evaluations["compiled_bytes"]``) per dataset scale.
     One plan feeds every backend, so these cells carry no backend axis
     beyond the placeholder ``python``.
+``probabilistic``
+    The propagation-model axis: ``Greedy_All`` (eager and CELF) under
+    the live-edge model, scored by the seeded sample average over 64
+    worlds.  The python/numpy cell pairs feed
+    :func:`repro.bench.compare.mc_speedup`, whose acceptance bar is a
+    ≥10× batched-vs-per-trial ratio at n≈2000.
 """
 
 from __future__ import annotations
@@ -67,8 +73,13 @@ class BenchScenario:
     ``scale``/``seed`` parameterize the dataset generator (None means the
     generator's default scale).  ``mode`` selects what is timed — the bare
     algorithm, or the service's cold-miss / cached-hit request path for
-    the identical placement.  ``key()`` identifies the cell across runs —
-    the regression comparator matches prior and current records by it.
+    the identical placement.  ``model``/``edge_prob``/``trials`` put the
+    cell on the propagation-model axis: a non-deterministic model scores
+    every evaluation as the seeded sample average over ``trials``
+    live-edge worlds at the given uniform edge probability (the cell's
+    ``seed`` also seeds the world sampler, so records stay reproducible).
+    ``key()`` identifies the cell across runs — the regression comparator
+    matches prior and current records by it.
     """
 
     dataset: str
@@ -78,18 +89,25 @@ class BenchScenario:
     scale: float | None = None
     seed: int = 0
     mode: str = "algorithm"
+    model: str = "deterministic"
+    edge_prob: float = 1.0
+    trials: int = 0
 
     def key(self) -> str:
-        """``dataset@scale/seedN/algorithm/kK/backend[/cold|/hit]``.
+        """``dataset@scale/seedN/algorithm/kK/backend[/…]``.
 
         ``compile`` cells use ``compile`` on the algorithm axis (with
-        ``k=0``), so their keys need no extra suffix.
+        ``k=0``), so their keys need no extra suffix.  Probabilistic
+        cells append ``/model-pP-tT``; deterministic keys are unchanged
+        so prior ``BENCH.json`` baselines keep matching.
         """
         scale = "default" if self.scale is None else f"{self.scale:g}"
         base = (
             f"{self.dataset}@{scale}/seed{self.seed}"
             f"/{self.algorithm}/k{self.k}/{self.backend}"
         )
+        if self.model != "deterministic":
+            base += f"/{self.model}-p{self.edge_prob:g}-t{self.trials}"
         if self.mode == "service_cold":
             return f"{base}/cold"
         if self.mode == "service_hit":
@@ -163,6 +181,12 @@ def default_suite(
     # One compile cell per dataset so the trajectory file also tracks the
     # one-time plan cost the solve cells amortize.
     scenarios.extend(_compile_cells(cells, seed))
+    # Probabilistic cells at the n≈2000 gate scale: the python-vs-numpy
+    # pair behind the ≥10× batched-sampler acceptance bar
+    # (:func:`repro.bench.compare.mc_speedup`).
+    scenarios.extend(
+        _probabilistic_cells([("quote", 2.2)], backends, seed)
+    )
     return scenarios
 
 
@@ -201,6 +225,91 @@ def _compile_cells(
             mode="compile",
         )
         for dataset, scale in cells
+    ]
+
+
+#: Default model parameters of the ``probabilistic`` suite cells: the
+#: acceptance bar ("batched NumPy sampler ≥10× the per-trial Python loop
+#: at n≈2000 with 64 samples") pins the trial count; 0.9 models the
+#: mostly-reliable links of an information network (the per-trial loop's
+#: cost scales with live edges, the batched sampler's does not — the
+#: ratio is honest at any p, this one just reflects realistic traffic).
+PROBABILISTIC_EDGE_PROB = 0.9
+PROBABILISTIC_TRIALS = 64
+
+
+def _probabilistic_cells(
+    cells: Sequence[tuple[str, float | None]],
+    backends: Sequence[str],
+    seed: int,
+    algorithms: Sequence[str] = ("G_All",),
+) -> list[BenchScenario]:
+    return [
+        BenchScenario(
+            dataset=dataset,
+            algorithm=algorithm,
+            k=10,
+            backend=backend,
+            scale=scale,
+            seed=seed,
+            model="live-edge",
+            edge_prob=PROBABILISTIC_EDGE_PROB,
+            trials=PROBABILISTIC_TRIALS,
+        )
+        for dataset, scale in cells
+        for algorithm in algorithms
+        for backend in backends
+    ]
+
+
+def probabilistic_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The propagation-model axis: SAA ``Greedy_All`` across backends.
+
+    Each cell runs ``G_All`` (eager and CELF-under-SAA) with the
+    live-edge model at ``p =`` :data:`PROBABILISTIC_EDGE_PROB` and
+    :data:`PROBABILISTIC_TRIALS` sampled worlds; the cell's record
+    carries ``model``/``trials`` so the comparator can match the
+    python/numpy pairs.  The acceptance bar —
+    :func:`repro.bench.compare.mc_speedup` ≥ 10 on the n≈2000 cell — is
+    the batched-sampler-vs-per-trial-loop headline the tentpole promises.
+    """
+    backends = _resolve_backends(backends)
+    return _probabilistic_cells(
+        [("fig10", None), ("quote", 2.2)],
+        backends,
+        seed,
+        algorithms=("G_All", "G_All_lazy"),
+    )
+
+
+def apply_model(
+    scenarios: Sequence[BenchScenario],
+    *,
+    model: str,
+    edge_prob: float,
+    trials: int,
+) -> list[BenchScenario]:
+    """Re-parameterize a suite's algorithm cells onto a relaying model.
+
+    The CLI's ``bench --model`` flag: every ``algorithm``-mode cell gets
+    the model axis applied (service/compile cells measure serving and
+    plan cost, which the model does not change, and pass through
+    untouched).  ``model="deterministic"`` — or unit probabilities,
+    which *are* deterministic relaying and would otherwise label
+    exact-path cells as probabilistic — returns the suite as-is,
+    matching the normalization ``place`` and the service apply.
+    """
+    from dataclasses import replace
+
+    if model == "deterministic" or edge_prob >= 1.0:
+        return list(scenarios)
+    return [
+        replace(s, model=model, edge_prob=edge_prob, trials=trials)
+        if s.mode == "algorithm"
+        else s
+        for s in scenarios
     ]
 
 
@@ -297,6 +406,7 @@ _SUITES = {
     "lazy": lazy_suite,
     "service": service_suite,
     "compile": compile_suite,
+    "probabilistic": probabilistic_suite,
 }
 
 #: Every built-in suite name, in presentation order.

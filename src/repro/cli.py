@@ -35,6 +35,14 @@ runs lazy-capable algorithms (the ``Greedy_All`` family) as CELF on the
 incremental gain engine — identical selections and objective values, one
 full propagation sweep instead of one per placement.
 
+``--model {deterministic,live-edge,per-copy}`` with ``--edge-prob`` and
+``--trials`` (on ``place``, ``experiment`` and ``bench``) selects the
+propagation model: ``deterministic`` (the default, and anything with
+edge probability 1) takes the exact integer fast path unchanged, while
+the probabilistic models score every model-aware evaluation as a seeded
+sample average over live-edge worlds (the run's ``--seed`` seeds the
+sampler).
+
 Examples
 --------
 ::
@@ -43,11 +51,13 @@ Examples
     filter-placement place --edges my_graph.txt --algorithm G_Max -k 10
     filter-placement place --dataset citation -k 10 --backend numpy
     filter-placement place --dataset citation -k 10 --strategy lazy --json
+    filter-placement place --dataset quote -k 8 --model live-edge \
+        --edge-prob 0.7 --trials 64
     filter-placement stats --dataset citation --scale 0.1 --json
     filter-placement experiment fig7 --fast
     filter-placement generate --dataset twitter --scale 0.05 --seed 7 -o t.txt
     filter-placement bench --suite toy --out BENCH.json
-    filter-placement bench --suite service --out BENCH.service.json
+    filter-placement bench --suite probabilistic --out BENCH.prob.json
     filter-placement bench --suite default --compare BENCH.prior.json
     filter-placement serve --port 8080 --workers 8
 """
@@ -122,6 +132,47 @@ def _add_strategy_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.propagation.model import DEFAULT_TRIALS, MODEL_NAMES
+
+    parser.add_argument(
+        "--model",
+        choices=MODEL_NAMES,
+        default="deterministic",
+        help="propagation model: deterministic = every edge always "
+        "relays (exact integers, the default), live-edge / per-copy = "
+        "probabilistic relaying scored by a seeded sample average over "
+        "live-edge worlds",
+    )
+    parser.add_argument(
+        "--edge-prob",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="uniform edge relay probability for probabilistic models "
+        "(default: 1.0, which is deterministic relaying)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=DEFAULT_TRIALS,
+        help="Monte-Carlo worlds the sample-average objective uses "
+        f"(default: {DEFAULT_TRIALS}; the run's --seed seeds the sampler)",
+    )
+
+
+def _build_cli_model(args: argparse.Namespace):
+    """The resolved PropagationModel of a command line (None = exact)."""
+    from repro.propagation.model import build_model
+
+    return build_model(
+        args.model,
+        edge_prob=args.edge_prob,
+        trials=args.trials,
+        seed=args.seed,
+    )
+
+
 def _cmd_place(args: argparse.Namespace) -> int:
     # Scoped, not set_default_backend: main() is also a library entry
     # point and must not leak a changed process default to its caller.
@@ -131,25 +182,48 @@ def _cmd_place(args: argparse.Namespace) -> int:
 
 def _run_place(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    algorithm = get_algorithm(args.algorithm, strategy=args.strategy)
+    model = _build_cli_model(args)
+    algorithm = get_algorithm(
+        args.algorithm, strategy=args.strategy, model=model
+    )
     result = algorithm.place(graph, args.k)
     if args.json:
         from repro.service.serialize import placement_payload
 
-        print(json.dumps(placement_payload(graph, result), indent=2,
-                         sort_keys=True))
+        print(json.dumps(placement_payload(graph, result, model=model),
+                         indent=2, sort_keys=True))
         return 0
-    phi_empty = phi(graph, ())
-    f_max = max_objective(graph, phi_empty=phi_empty)
-    fr = filter_ratio(
-        graph, result.filters, phi_empty=phi_empty, f_max=f_max
-    )
     rows = [[str(i + 1), repr(v)] for i, v in enumerate(result.filters)]
     print(format_table(["#", "filter node"], rows))
     print()
     print(f"algorithm      : {result.algorithm}")
     print(f"requested k    : {args.k}")
     print(f"filters chosen : {len(result.filters)}")
+    if model is not None:
+        # SAA estimates over the model's sampled worlds — floats, and
+        # mutually consistent because every value shares the worlds.
+        from repro.core.objective import expected_phi
+
+        phi_empty_x = expected_phi(graph, (), model=model)
+        phi_a_x = expected_phi(graph, result.filters, model=model)
+        f_max_x = phi_empty_x - expected_phi(
+            graph, graph.nodes(), model=model
+        )
+        objective_x = phi_empty_x - phi_a_x
+        fr_x = 1.0 if f_max_x == 0 else objective_x / f_max_x
+        print(f"model          : {model.mechanism} "
+              f"(edge prob {args.edge_prob:g}, {model.trials} trials, "
+              f"seed {model.seed})")
+        print(f"E[Phi(empty)]  : {phi_empty_x:.3f}")
+        print(f"E[Phi(A)]      : {phi_a_x:.3f}")
+        print(f"E[F(A)]        : {objective_x:.3f}")
+        print(f"Filter Ratio   : {fr_x:.4f}  (sample average)")
+        return 0
+    phi_empty = phi(graph, ())
+    f_max = max_objective(graph, phi_empty=phi_empty)
+    fr = filter_ratio(
+        graph, result.filters, phi_empty=phi_empty, f_max=f_max
+    )
     print(f"Phi(empty)     : {phi_empty}")
     print(f"Phi(A)         : {phi(graph, result.filters)}")
     print(f"F(A)           : {phi_empty - phi(graph, result.filters)}")
@@ -232,6 +306,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     forwarded.extend(["--seed", str(args.seed)])
     forwarded.extend(["--backend", args.backend])
     forwarded.extend(["--strategy", args.strategy])
+    forwarded.extend(["--model", args.model])
+    forwarded.extend(["--edge-prob", str(args.edge_prob)])
+    # The runner's own --trials is the experiments' repetition knob, so
+    # the Monte-Carlo sample count travels under a distinct name.
+    forwarded.extend(["--mc-trials", str(args.trials)])
     return runner_main(forwarded)
 
 
@@ -282,6 +361,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 2
     scenarios = get_suite(args.suite, backends=args.backends, seed=args.seed)
+    if args.model != "deterministic":
+        from repro.bench.scenarios import apply_model
+
+        scenarios = apply_model(
+            scenarios,
+            model=args.model,
+            edge_prob=args.edge_prob,
+            trials=args.trials,
+        )
     records = run_suite(
         scenarios,
         repeats=args.repeats,
@@ -366,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("-k", type=int, required=True, help="filter budget")
     _add_backend_argument(place)
     _add_strategy_argument(place)
+    _add_model_arguments(place)
     place.add_argument(
         "--json",
         action="store_true",
@@ -393,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=None)
     _add_backend_argument(experiment)
     _add_strategy_argument(experiment)
+    _add_model_arguments(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     from repro.bench.scenarios import SUITE_NAMES
@@ -434,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
+    _add_model_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     from repro.service.jobs import POOL_KINDS

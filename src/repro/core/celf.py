@@ -43,6 +43,7 @@ from repro.graphs.cgraph import CGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.propagation.model import PropagationModel
 
 Node = Hashable
 
@@ -85,10 +86,12 @@ class CelfGreedyAll:
         backend: "str | PropagationBackend | None" = None,
         name: str | None = None,
         audit: list[AuditEntry] | None = None,
+        model: "PropagationModel | None" = None,
     ) -> None:
         self.early_stop = early_stop
         self.backend = backend
         self.audit = audit
+        self.model = model
         if name is not None:
             self.name = name
 
@@ -106,10 +109,20 @@ class CelfGreedyAll:
         reproduces the eager argmax's lowest-rank tie-break), and the
         session is driven through its id fast path.  User nodes appear
         only in the recorded steps and the final placement.
+
+        Under a probabilistic relaying model the heap ranks the
+        summed-over-worlds SAA gains.  The lazy upper-bound argument
+        carries over verbatim: with common random numbers the SAA
+        objective is itself monotone submodular (an average of
+        deterministic objectives on subgraph worlds), so stale SAA gains
+        are still upper bounds and the selections provably equal eager
+        SAA ``Greedy_All``'s.
         """
         from repro.backends.registry import resolve_backend
+        from repro.propagation.model import resolve_model
 
         check_budget(graph, k)
+        model = resolve_model(self.model)
         compiled = graph.compiled()
         nodes = compiled.nodes
         chosen_ids: list[int] = []
@@ -119,7 +132,11 @@ class CelfGreedyAll:
                 algorithm=self.name, filters=(), requested_k=0, steps=()
             )
 
-        session = resolve_backend(self.backend).gain_session(graph, ())
+        backend = resolve_backend(self.backend)
+        if model is None:
+            session = backend.gain_session(graph, ())
+        else:
+            session = backend.sampled_gain_session(graph, (), model=model)
         # Max-heap of (-gain, id); ids are unique per node, so entries
         # never compare the (possibly unorderable) node itself, and ties
         # resolve to the lowest graph.nodes() rank — bit-identical to the

@@ -35,6 +35,7 @@ from repro.graphs.cgraph import CGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.propagation.model import PropagationModel
 
 Node = Hashable
 
@@ -60,9 +61,11 @@ class GreedyAll:
         *,
         early_stop: bool = True,
         backend: "str | PropagationBackend | None" = None,
+        model: "PropagationModel | None" = None,
     ) -> None:
         self.early_stop = early_stop
         self.backend = backend
+        self.model = model
         if not early_stop:
             self.name = "G_All_paper"
 
@@ -79,16 +82,32 @@ class GreedyAll:
         the ``graph.nodes()`` rank, so the ascending scan with a strict
         ``>`` reproduces the canonical lowest-rank tie-break — and
         translates back to user nodes only at the result boundary.
+
+        Under a probabilistic relaying model (``model`` pinned here or
+        scoped via :func:`repro.propagation.model.use_model`) each sweep
+        evaluates the summed-over-worlds SAA gains instead — same loop,
+        same tie-breaks, exact integers either way.  With no model the
+        deterministic path below is untouched, byte for byte.
         """
+        from repro.propagation.model import resolve_model
+
         check_budget(graph, k)
+        model = resolve_model(self.model)
         compiled = graph.compiled()
         chosen_ids: list[int] = []
         steps: list[PlacementStep] = []
         placed = bytearray(compiled.n)
         for _ in range(k):
-            gains = marginal_gains_ids(
-                graph, chosen_ids, backend=self.backend
-            )
+            if model is None:
+                gains = marginal_gains_ids(
+                    graph, chosen_ids, backend=self.backend
+                )
+            else:
+                from repro.backends.registry import resolve_backend
+
+                gains = resolve_backend(
+                    self.backend
+                ).sampled_marginal_gains_ids(graph, chosen_ids, model=model)
             best = -1
             best_gain = 0
             for v, gain in enumerate(gains):

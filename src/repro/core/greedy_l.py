@@ -28,6 +28,7 @@ from repro.propagation.engine import item_receipts_ids, loose_filter_mask
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.propagation.model import PropagationModel
 
 Node = Hashable
 
@@ -112,8 +113,10 @@ class GreedyL:
         self,
         *,
         backend: "str | PropagationBackend | None" = None,
+        model: "PropagationModel | None" = None,
     ) -> None:
         self.backend = backend
+        self.model = model
 
     def place(
         self,
@@ -126,9 +129,14 @@ class GreedyL:
 
         Runs on interned ids; the ascending scan with a strict ``>``
         reproduces the canonical lowest-rank tie-break, and user nodes
-        reappear only at the result boundary.
+        reappear only at the result boundary.  Under a probabilistic
+        relaying model the score is the summed-over-worlds
+        ``Σ_t ψ_t(v) · dout_t(v)`` (live out-degree per world).
         """
+        from repro.propagation.model import resolve_model
+
         check_budget(graph, k)
+        model = resolve_model(self.model)
         compiled = graph.compiled()
         # Ensure the topological accessors exist up front — Greedy_L is
         # specified on DAGs and should fail fast on cyclic input.
@@ -137,9 +145,18 @@ class GreedyL:
         steps: list[PlacementStep] = []
         placed = bytearray(compiled.n)
         for _ in range(k):
-            scores = simplified_impacts_ids(
-                graph, chosen_ids, backend=self.backend
-            )
+            if model is None:
+                scores = simplified_impacts_ids(
+                    graph, chosen_ids, backend=self.backend
+                )
+            else:
+                from repro.backends.registry import resolve_backend
+
+                scores = resolve_backend(
+                    self.backend
+                ).sampled_simplified_impacts_ids(
+                    graph, chosen_ids, model=model
+                )
             best = -1
             best_score = 0
             for v, score in enumerate(scores):

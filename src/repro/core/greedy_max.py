@@ -22,6 +22,7 @@ from repro.graphs.cgraph import CGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.propagation.model import PropagationModel
 
 Node = Hashable
 
@@ -30,7 +31,9 @@ class GreedyMax:
     """The paper's ``Greedy_Max`` heuristic.
 
     The single impact sweep runs on the propagation backend given by
-    ``backend`` (None = the registry default).
+    ``backend`` (None = the registry default).  Under a probabilistic
+    relaying model the ranking uses the summed-over-worlds SAA impacts
+    instead (same sweep shape, same tie-breaks).
     """
 
     name = "G_Max"
@@ -40,8 +43,10 @@ class GreedyMax:
         self,
         *,
         backend: "str | PropagationBackend | None" = None,
+        model: "PropagationModel | None" = None,
     ) -> None:
         self.backend = backend
+        self.model = model
 
     def place(
         self,
@@ -55,9 +60,19 @@ class GreedyMax:
         The sweep, ranking and tie-breaks all run on interned ids (an id
         is the ``graph.nodes()`` rank); nodes reappear at the boundary.
         """
+        from repro.propagation.model import resolve_model
+
         check_budget(graph, k)
+        model = resolve_model(self.model)
         compiled = graph.compiled()
-        scored = marginal_gains_ids(graph, (), backend=self.backend)
+        if model is None:
+            scored = marginal_gains_ids(graph, (), backend=self.backend)
+        else:
+            from repro.backends.registry import resolve_backend
+
+            scored = resolve_backend(
+                self.backend
+            ).sampled_marginal_gains_ids(graph, (), model=model)
         ranked = sorted(
             (v for v, gain in enumerate(scored) if gain > 0),
             key=lambda v: (-scored[v], v),

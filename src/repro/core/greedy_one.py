@@ -32,16 +32,20 @@ def degree_score(graph: CGraph, node: Node) -> int:
 class GreedyOne:
     """The paper's ``Greedy_1`` heuristic.
 
-    ``backend`` is accepted for signature uniformity with the rest of the
-    greedy family but ignored: ``m(v)`` is pure degree bookkeeping and
-    never evaluates propagation.
+    ``backend`` and ``model`` are accepted for signature uniformity with
+    the rest of the greedy family but ignored: ``m(v)`` is pure degree
+    bookkeeping and never evaluates propagation (the degree product is a
+    *structural* score, identical under every relaying model).
     """
 
     name = "G_1"
     prefix_consistent = True
 
-    def __init__(self, *, backend: object | None = None) -> None:
+    def __init__(
+        self, *, backend: object | None = None, model: object | None = None
+    ) -> None:
         self.backend = backend
+        self.model = model
 
     def place(
         self,

@@ -77,7 +77,9 @@ def receipts_given_filters(
 
 
 def absorbing_suffix_ids(
-    compiled: "CompiledGraph", mask: bytearray
+    compiled: "CompiledGraph",
+    mask: bytearray,
+    succ: "tuple[tuple[int, ...], ...] | None" = None,
 ) -> list[int]:
     """``W`` as a list over interned ids — one backward index sweep.
 
@@ -85,11 +87,17 @@ def absorbing_suffix_ids(
     recurrence collapses to ``W(v) = dout(v) + Σ_u w_eff(u)`` and the
     per-edge work runs inside C (``sum(map(...))``), mirroring the
     gather-from-parents trick of the forward ψ sweep.
+
+    ``succ`` substitutes a different successor table over the same node
+    ids (a live-edge world's pruned adjacency, from the Monte-Carlo
+    sampler); the cached topological order stays valid on any edge
+    subset.  Default: the full graph's adjacency.
     """
     w = [0] * compiled.n
     w_eff = [0] * compiled.n
     w_eff_get = w_eff.__getitem__
-    succ = compiled.succ_ids
+    if succ is None:
+        succ = compiled.succ_ids
     for v in reversed(compiled.topo_order):
         children = succ[v]
         if children:

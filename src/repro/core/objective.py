@@ -26,6 +26,7 @@ from repro.propagation.engine import total_receipts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.propagation.model import PropagationModel
 
 Node = Hashable
 
@@ -123,6 +124,72 @@ def filter_ratio(
         items_per_source=items_per_source,
         phi_empty=phi_empty,
         backend=backend,
+    )
+    return value / f_max
+
+
+def expected_phi(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    *,
+    model: "PropagationModel | None" = None,
+    backend: "str | PropagationBackend | None" = None,
+) -> float:
+    """``E[Φ(A, V)]`` under a relaying model — the SAA estimate.
+
+    ``model=None`` is deterministic relaying: the exact integer ``Φ``
+    as a float.  Probabilistic estimates average the model's sampled
+    worlds (common random numbers, so repeated calls with one model are
+    mutually consistent and byte-reproducible per seed).
+    """
+    from repro.backends.registry import resolve_backend
+
+    return resolve_backend(backend).expected_total_receipts(
+        graph, filters, model=model
+    )
+
+
+def expected_objective_value(
+    graph: CGraph,
+    filters: Collection[Node],
+    *,
+    model: "PropagationModel | None" = None,
+    phi_empty: float | None = None,
+    backend: "str | PropagationBackend | None" = None,
+) -> float:
+    """``E[F(A)] = E[Φ(∅, V)] − E[Φ(A, V)]`` under a relaying model."""
+    if phi_empty is None:
+        phi_empty = expected_phi(graph, (), model=model, backend=backend)
+    return phi_empty - expected_phi(
+        graph, filters, model=model, backend=backend
+    )
+
+
+def expected_filter_ratio(
+    graph: CGraph,
+    filters: Collection[Node],
+    *,
+    model: "PropagationModel | None" = None,
+    phi_empty: float | None = None,
+    f_max: float | None = None,
+    backend: "str | PropagationBackend | None" = None,
+) -> float:
+    """``E[FR(A)]`` — the Filter Ratio on SAA estimates.
+
+    Same conventions as :func:`filter_ratio` (``F(V) = 0`` reports 1.0);
+    under common random numbers the estimate is a genuine ratio of one
+    consistent sample average, not a ratio of independent noise.
+    """
+    if phi_empty is None:
+        phi_empty = expected_phi(graph, (), model=model, backend=backend)
+    if f_max is None:
+        f_max = phi_empty - expected_phi(
+            graph, graph.nodes(), model=model, backend=backend
+        )
+    if f_max == 0:
+        return 1.0
+    value = expected_objective_value(
+        graph, filters, model=model, phi_empty=phi_empty, backend=backend
     )
     return value / f_max
 

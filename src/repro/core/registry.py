@@ -20,6 +20,14 @@ the exact searches) ignore the strategy: there is nothing to lazify in a
 single-sweep or sweep-free method.  Scope a strategy with
 :func:`use_strategy` (the CLI's ``--strategy`` flag does this) or pass it
 per lookup via ``get_algorithm(name, strategy=...)``.
+
+A third orthogonal axis is the **propagation model**
+(:mod:`repro.propagation.model`): ``get_algorithm(name, model=...)`` pins
+a probabilistic relaying model on model-aware algorithms
+(:data:`MODEL_AWARE_NAMES`), under which every gain/score evaluation
+becomes a seeded sample-average over live-edge worlds.  ``model=None``
+(the default) is deterministic relaying and leaves every code path —
+and therefore every result — bit-identical to before the axis existed.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from repro.scoping import ScopedDefault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.backends.base import PropagationBackend
+    from repro.propagation.model import PropagationModel
 from repro.core.betweenness import BetweennessPlacement
 from repro.core.celf import CelfGreedyAll
 from repro.core.exhaustive import ExhaustiveSearch
@@ -81,6 +90,16 @@ ALGORITHM_NAMES: tuple[str, ...] = tuple(_FACTORIES)
 
 #: Execution strategies accepted by ``get_algorithm`` / ``--strategy``.
 STRATEGY_NAMES: tuple[str, ...] = ("exact", "lazy")
+
+#: Algorithm names whose scores change under a probabilistic relaying
+#: model (the rest score structurally or draw at random and ignore it).
+MODEL_AWARE_NAMES: tuple[str, ...] = (
+    "G_All",
+    "G_All_paper",
+    "G_All_lazy",
+    "G_Max",
+    "G_L",
+)
 
 #: Algorithm names that actually change execution under ``lazy``.
 LAZY_CAPABLE_NAMES: tuple[str, ...] = tuple(_LAZY_FACTORIES)
@@ -156,6 +175,7 @@ def get_algorithm(
     *,
     strategy: str | None = None,
     backend: "str | PropagationBackend | None" = None,
+    model: "PropagationModel | None" = None,
 ) -> PlacementAlgorithm:
     """Instantiate the algorithm registered under ``name``.
 
@@ -169,6 +189,15 @@ def get_algorithm(
     this is how the service resolves a fully-specified ``(name, strategy,
     backend)`` request without touching any process-wide default.
     Sweep-free algorithms ignore it.
+
+    ``model`` pins a probabilistic relaying model
+    (:class:`~repro.propagation.model.PropagationModel`) the same way —
+    the third axis of a fully-specified request.  None inherits the
+    :func:`repro.propagation.model.use_model` scope (which defaults to
+    deterministic relaying, the exact fast path).  Algorithms whose
+    scores are structural (``G_1``) or random (``Rand_*``) accept and
+    ignore it; the exact searches reject model-aware use by simply not
+    exposing the attribute.
 
     Raises :class:`~repro.exceptions.ParameterError` for unknown names or
     strategies, listing the valid ones.
@@ -187,6 +216,12 @@ def get_algorithm(
     algorithm = factory()
     if backend is not None and hasattr(algorithm, "backend"):
         algorithm.backend = backend
+    if model is not None:
+        from repro.propagation.model import _check_model_spec
+
+        _check_model_spec(model)
+        if hasattr(algorithm, "model"):
+            algorithm.model = model
     return algorithm
 
 
@@ -209,6 +244,7 @@ def algorithm_catalog() -> list[dict[str, object]]:
             "name": name,
             "lazy_capable": name in _LAZY_FACTORIES,
             "deterministic": is_deterministic(name),
+            "model_aware": name in MODEL_AWARE_NAMES,
             "paper": name in PAPER_ALGORITHM_NAMES,
         }
         for name in _FACTORIES

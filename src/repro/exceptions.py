@@ -35,6 +35,24 @@ class MissingNodeError(GraphStructureError):
         self.node = node
 
 
+class MissingEdgeError(GraphStructureError):
+    """A referenced edge does not exist in the graph.
+
+    Distinct from :class:`MissingNodeError`: both endpoints may well be
+    present — the *connection* is what is missing (e.g. an edge-probability
+    mapping keyed by an edge the graph does not contain).
+    """
+
+    def __init__(self, edge: object) -> None:
+        try:
+            u, v = edge  # type: ignore[misc]
+            message = f"edge {u!r} -> {v!r} is not in the graph"
+        except (TypeError, ValueError):
+            message = f"edge {edge!r} is not in the graph"
+        super().__init__(message)
+        self.edge = edge
+
+
 class MissingSourceError(GraphStructureError):
     """An operation needing at least one source found none."""
 

@@ -44,6 +44,7 @@ def run_experiments(
     trials: int | None = None,
     backend: str | None = None,
     strategy: str | None = None,
+    model: "object | None" = None,
 ) -> list[ExperimentResult]:
     """Run the named experiments and return their results in order.
 
@@ -53,7 +54,24 @@ def run_experiments(
     :data:`repro.core.registry.STRATEGY_NAMES`): under ``"lazy"`` every
     ``Greedy_All`` evaluation inside the figures runs as CELF on the
     incremental gain engine — identical curves, fewer sweeps.
+    ``model`` scopes a probabilistic relaying model
+    (:class:`repro.propagation.model.PropagationModel`; None keeps
+    deterministic relaying): every model-aware gain evaluation inside
+    the figures becomes the seeded sample average over live-edge worlds.
     """
+    if model is not None:
+        from repro.propagation.model import use_model
+
+        with use_model(model):
+            return run_experiments(
+                names,
+                fast=fast,
+                seed=seed,
+                scale=scale,
+                trials=trials,
+                backend=backend,
+                strategy=strategy,
+            )
     if strategy is not None:
         from repro.core.registry import use_strategy
 
@@ -122,8 +140,38 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="execution strategy for lazy-capable algorithms "
         "(default: exact)",
     )
+    from repro.propagation.model import DEFAULT_TRIALS, MODEL_NAMES
+
+    parser.add_argument(
+        "--model",
+        choices=MODEL_NAMES,
+        default="deterministic",
+        help="propagation model for every model-aware evaluation "
+        "(default: deterministic)",
+    )
+    parser.add_argument(
+        "--edge-prob",
+        type=float,
+        default=1.0,
+        help="uniform edge relay probability for probabilistic models",
+    )
+    parser.add_argument(
+        "--mc-trials",
+        type=int,
+        default=DEFAULT_TRIALS,
+        help="Monte-Carlo worlds per sample-average evaluation "
+        "(--trials is the experiments' own repetition knob)",
+    )
     args = parser.parse_args(argv)
 
+    from repro.propagation.model import build_model
+
+    model = build_model(
+        args.model,
+        edge_prob=args.edge_prob,
+        trials=args.mc_trials,
+        seed=args.seed,
+    )
     names = list(EXPERIMENT_NAMES) if "all" in args.names else args.names
     start = time.perf_counter()
     for result in run_experiments(
@@ -134,6 +182,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         trials=args.trials,
         backend=args.backend,
         strategy=args.strategy,
+        model=model,
     ):
         print(result.render())
     print(f"[{time.perf_counter() - start:.1f}s total]")

@@ -50,12 +50,54 @@ import weakref
 from collections.abc import Iterable, Sequence
 from typing import TYPE_CHECKING, Hashable
 
-from repro.exceptions import CyclicGraphError, MissingNodeError
+from repro.exceptions import (
+    CyclicGraphError,
+    MissingEdgeError,
+    MissingNodeError,
+    ParameterError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Mapping
+
     from repro.graphs.cgraph import CGraph
 
 Node = Hashable
+
+
+class EdgeProbabilities:
+    """Relay probabilities aligned to one compiled graph's CSR arrays.
+
+    The probabilistic layer's compiled substrate: ``out_probs[e]`` is the
+    relay probability of the edge at forward-CSR position ``e`` (the edge
+    ``u → out_targets[e]`` with ``u`` given by the offsets), and
+    ``in_probs[f]`` the same probabilities in reverse-CSR order.  Built
+    once per probability spec and cached on the :class:`CompiledGraph`
+    (:meth:`CompiledGraph.edge_probabilities`), so Monte-Carlo samplers
+    never re-derive per-edge lookups trial by trial.
+
+    ``unit`` is True when every probability is exactly 1 — the
+    deterministic fast path, which the model layer collapses before any
+    sampling happens.
+    """
+
+    __slots__ = ("out_probs", "in_probs", "unit", "uniform")
+
+    def __init__(
+        self,
+        out_probs: list[float],
+        in_probs: list[float],
+        *,
+        uniform: float | None,
+    ) -> None:
+        self.out_probs = out_probs
+        self.in_probs = in_probs
+        self.uniform = uniform
+        self.unit = all(p >= 1.0 for p in out_probs)
+
+    def nbytes(self) -> int:
+        """Shallow container memory of the probability tables, in bytes."""
+        return sys.getsizeof(self.out_probs) + sys.getsizeof(self.in_probs)
 
 
 class CompiledGraph:
@@ -92,6 +134,8 @@ class CompiledGraph:
         "_topo_index",
         "_depth",
         "_level_offsets",
+        "_in_pos_of_out",
+        "_edge_prob_cache",
     )
 
     def __init__(self, graph: "CGraph") -> None:
@@ -138,6 +182,8 @@ class CompiledGraph:
         self.in_sources = in_sources
         self.out_degree = out_degree
         self.in_degree = in_degree
+        self._in_pos_of_out = None
+        self._edge_prob_cache = None
         self.source_ids = tuple(sorted(index[s] for s in graph.sources))
         self.sink_ids = tuple(i for i in range(n) if not out_degree[i])
         self.merge_ids = tuple(
@@ -274,6 +320,104 @@ class CompiledGraph:
         return mask
 
     # ------------------------------------------------------------------
+    # Edge probabilities (the probabilistic-model substrate)
+    # ------------------------------------------------------------------
+
+    def in_pos_of_out(self) -> list[int]:
+        """Map each forward-CSR edge position to its reverse-CSR position.
+
+        Both CSR directions were built by one ascending scan over
+        ``succ_ids``, so the mapping is a single replay of that scan.
+        Cached: the Monte-Carlo samplers use it to translate live-edge
+        masks (sampled in canonical forward order) to the reverse
+        direction the ``W`` sweeps walk.
+        """
+        if self._in_pos_of_out is None:
+            fill = list(self.in_offsets[:-1])
+            mapping = [0] * self.m
+            pos = 0
+            for children in self.succ_ids:
+                for c in children:
+                    mapping[pos] = fill[c]
+                    fill[c] += 1
+                    pos += 1
+            self._in_pos_of_out = mapping
+        return self._in_pos_of_out
+
+    def edge_probabilities(
+        self,
+        probabilities: "float | Mapping[tuple[Node, Node], float]" = 1.0,
+        *,
+        key: "object | None" = None,
+    ) -> EdgeProbabilities:
+        """Relay probabilities compiled to CSR-aligned arrays (cached).
+
+        ``probabilities`` is a single float or an edge-keyed mapping
+        (missing edges default to 1).  Mapping entries are validated
+        here — the first point where the spec meets a graph: an edge the
+        graph does not contain raises :class:`MissingEdgeError`, a value
+        outside ``[0, 1]`` raises ParameterError.
+
+        ``key`` is an optional hashable cache key for the spec (the model
+        layer passes
+        :meth:`repro.propagation.model.PropagationModel.probabilities_key`);
+        uniform floats are self-keying.  Cached arrays are charged to
+        :meth:`nbytes`.
+        """
+        from collections.abc import Mapping as _Mapping
+
+        if key is None:
+            if isinstance(probabilities, _Mapping):
+                key = (
+                    "map",
+                    tuple(
+                        sorted(
+                            ((repr(u), repr(v)), float(p))
+                            for (u, v), p in probabilities.items()
+                        )
+                    ),
+                )
+            else:
+                key = ("uniform", float(probabilities))
+        cache = self._edge_prob_cache
+        if cache is None:
+            cache = self._edge_prob_cache = {}
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+        m = self.m
+        if isinstance(probabilities, _Mapping):
+            index = self.index
+            succ = self.succ_ids
+            out_probs = [1.0] * m
+            offsets = self.out_offsets
+            for (u, v), p in probabilities.items():
+                p = float(p)
+                if not 0.0 <= p <= 1.0:
+                    raise ParameterError(
+                        f"edge probability {p!r} outside [0, 1]"
+                    )
+                ui = index.get(u)
+                vi = index.get(v)
+                if ui is None or vi is None or vi not in succ[ui]:
+                    raise MissingEdgeError((u, v))
+                out_probs[offsets[ui] + succ[ui].index(vi)] = p
+            uniform = None
+        else:
+            p = float(probabilities)
+            if not 0.0 <= p <= 1.0:
+                raise ParameterError(f"edge probability {p!r} outside [0, 1]")
+            out_probs = [p] * m
+            uniform = p
+        in_probs = [1.0] * m
+        for out_pos, in_pos in enumerate(self.in_pos_of_out()):
+            in_probs[in_pos] = out_probs[out_pos]
+        probs = EdgeProbabilities(out_probs, in_probs, uniform=uniform)
+        cache[key] = probs
+        return probs
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -305,6 +449,12 @@ class CompiledGraph:
         )
         total += sum(sys.getsizeof(t) for t in self.succ_ids)
         total += sum(sys.getsizeof(t) for t in self.pred_ids)
+        if self._in_pos_of_out is not None:
+            total += sys.getsizeof(self._in_pos_of_out)
+        if self._edge_prob_cache:
+            total += sum(
+                probs.nbytes() for probs in self._edge_prob_cache.values()
+            )
         if self.is_dag:
             total += sum(
                 sys.getsizeof(obj)

@@ -16,12 +16,25 @@ Three engines, one semantics:
   sets and serves as the ground-truth oracle in the test suite.
 * :mod:`repro.propagation.probabilistic` — the probabilistic relaying
   extension the paper sketches, with Monte-Carlo estimation.
+
+The probabilistic extension is a first-class *axis* of every placement
+request, not an island: :mod:`repro.propagation.model` defines the
+``deterministic | live-edge | per-copy`` spec the registry, backends,
+CLI and service thread through, and :mod:`repro.propagation.sampling`
+holds the seeded live-edge worlds (masks over the compiled CSR, common
+random numbers) that every sample-average gain evaluation shares.
 """
 
 from repro.propagation.engine import (
     item_receipts,
     node_receipts,
     total_receipts,
+)
+from repro.propagation.model import (
+    MODEL_NAMES,
+    PropagationModel,
+    build_model,
+    use_model,
 )
 from repro.propagation.simulator import (
     PropagationTrace,
@@ -41,6 +54,10 @@ __all__ = [
     "simulate",
     "is_propagation_finite",
     "PropagationTrace",
+    "MODEL_NAMES",
+    "PropagationModel",
+    "build_model",
+    "use_model",
     "ProbabilisticModel",
     "estimate_total_receipts",
     "expected_receipts_without_filters",

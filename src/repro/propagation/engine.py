@@ -71,6 +71,7 @@ def item_receipts_ids(
     compiled: "CompiledGraph",
     origin_id: int,
     mask: bytearray,
+    pred: "tuple[tuple[int, ...], ...] | None" = None,
 ) -> list[int]:
     """``ψ`` for one item as a list over interned ids — the hot primitive.
 
@@ -82,11 +83,18 @@ def item_receipts_ids(
     per-edge work runs inside C (``sum(map(emit.__getitem__, parents))``)
     instead of a Python scatter loop — the difference between the
     pre-compile and compiled pure-python engines at paper scale.
+
+    ``pred`` substitutes a different predecessor table over the same node
+    ids — the Monte-Carlo sampler passes a live-edge world's pruned
+    adjacency so each trial reuses this sweep (and the cached topological
+    order, which remains valid on any edge subset) instead of rebuilding
+    a graph.  Default: the full graph's adjacency.
     """
     received = [0] * compiled.n
     emit = [0] * compiled.n
     emit_get = emit.__getitem__
-    pred = compiled.pred_ids
+    if pred is None:
+        pred = compiled.pred_ids
     for v in compiled.topo_order:
         parents = pred[v]
         if parents:

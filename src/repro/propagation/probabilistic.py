@@ -2,20 +2,27 @@
 
 The paper adopts deterministic relaying "for ease of presentation" and
 notes that both the theory and the experiments carry over when links relay
-probabilistically.  This module makes that concrete with two standard
-models:
+probabilistically.  This module holds the *estimation* surface of the
+probabilistic layer — the model-axis spec itself lives in
+:mod:`repro.propagation.model` and the placement-side SAA evaluation in
+:mod:`repro.propagation.sampling` / the backends.  Two standard
+mechanisms:
 
-* ``live-edge``: each edge flips one coin per item; if live, every copy of
-  that item crosses it.  This matches the independent-cascade convention in
-  the influence-maximization literature the paper cites (Kempe et al.).
+* ``live-edge``: each edge flips one coin per item world; if live, every
+  copy of that item crosses it.  This matches the independent-cascade
+  convention in the influence-maximization literature the paper cites
+  (Kempe et al.).
 * ``per-copy``: every individual copy flips its own coin on every edge —
   the "tendency of a node to propagate messages" reading.
 
 Without filters both models have the same *expected* receipt counts (by
 linearity of expectation over path indicators), computable exactly in one
 topological pass.  With filters the expectation is no longer linear — a
-filter's emission is ``min(ψ, 1)`` — so `E[Φ(A, V)]` is estimated by seeded
-Monte-Carlo simulation.
+filter's emission is ``min(ψ, 1)`` — so ``E[Φ(A, V)]`` is estimated by
+seeded Monte-Carlo simulation.  Live-edge trials run as exact id sweeps
+over pre-sampled worlds (:class:`~repro.propagation.sampling.SampledWorlds`
+— masks over the compiled CSR, *no* per-trial graph rebuilds); per-copy
+trials walk the compiled topological order with per-copy binomial coins.
 """
 
 from __future__ import annotations
@@ -26,9 +33,9 @@ from dataclasses import dataclass
 from statistics import fmean, stdev
 from typing import Hashable, Literal
 
-from repro.exceptions import MissingNodeError, ParameterError
+from repro.exceptions import MissingEdgeError, MissingNodeError, ParameterError
 from repro.graphs.cgraph import CGraph
-from repro.propagation.engine import item_receipts
+from repro.propagation.model import DEFAULT_TRIALS, PropagationModel
 
 Node = Hashable
 Edge = tuple[Node, Node]
@@ -38,14 +45,22 @@ Edge = tuple[Node, Node]
 class ProbabilisticModel:
     """A c-graph whose edges relay with given probabilities.
 
+    This is the graph-*bound* form — probabilities validated against one
+    concrete graph at construction.  The graph-free axis spec the
+    placement layers thread around is
+    :class:`repro.propagation.model.PropagationModel`; :meth:`to_model`
+    converts.
+
     Parameters
     ----------
     graph:
         The underlying DAG.
     probabilities:
         Either a single float applied to every edge, or a mapping from
-        edges to floats.  Values must lie in ``[0, 1]``; missing edges in a
-        mapping default to 1 (deterministic relay).
+        edges to floats.  Values must lie in ``[0, 1]``; missing edges in
+        a mapping default to 1 (deterministic relay).  A mapping entry
+        whose edge the graph does not contain raises
+        :class:`~repro.exceptions.MissingEdgeError`.
     """
 
     graph: CGraph
@@ -55,7 +70,7 @@ class ProbabilisticModel:
         if isinstance(self.probabilities, Mapping):
             for edge, p in self.probabilities.items():
                 if not self.graph.has_edge(*edge):
-                    raise MissingNodeError(edge)
+                    raise MissingEdgeError(edge)
                 _check_probability(p)
         else:
             _check_probability(self.probabilities)
@@ -64,6 +79,32 @@ class ProbabilisticModel:
         if isinstance(self.probabilities, Mapping):
             return float(self.probabilities.get((u, v), 1.0))
         return float(self.probabilities)
+
+    def compiled(self):
+        """The probabilities as CSR-aligned arrays on the compiled view.
+
+        Returns the graph's cached
+        :class:`~repro.graphs.compiled.EdgeProbabilities` — built once
+        per spec and shared with every sampler and backend that touches
+        this graph (:meth:`CompiledGraph.edge_probabilities
+        <repro.graphs.compiled.CompiledGraph.edge_probabilities>`).
+        """
+        return self.graph.compiled().edge_probabilities(self.probabilities)
+
+    def to_model(
+        self,
+        mechanism: Literal["live-edge", "per-copy"] = "live-edge",
+        *,
+        trials: int = DEFAULT_TRIALS,
+        seed: int = 0,
+    ) -> PropagationModel:
+        """The graph-free axis spec for these probabilities."""
+        return PropagationModel(
+            mechanism=mechanism,
+            probabilities=self.probabilities,
+            trials=trials,
+            seed=seed,
+        )
 
 
 def _check_probability(p: float) -> None:
@@ -97,45 +138,36 @@ def expected_receipts_without_filters(
     return expected
 
 
-def _sample_live_subgraph(
-    model: ProbabilisticModel, rng: random.Random
-) -> CGraph:
-    live = [
-        (u, v)
-        for u, v in model.graph.edges()
-        if rng.random() < model.edge_probability(u, v)
-    ]
-    sources = model.graph.sources if model.graph.sources else None
-    return CGraph(live, nodes=model.graph.nodes(), sources=sources)
-
-
-def _simulate_per_copy(
-    model: ProbabilisticModel,
-    origin: Node,
-    filters: set[Node],
+def _simulate_per_copy_ids(
+    compiled,
+    out_probs: list[float],
+    origin_id: int,
+    mask: bytearray,
     rng: random.Random,
 ) -> int:
-    """One per-copy trial; returns the item's total receipt count."""
-    graph = model.graph
-    order = graph.topological_order()
-    received: dict[Node, int] = dict.fromkeys(order, 0)
+    """One per-copy trial on interned ids; returns the total receipts."""
+    received = [0] * compiled.n
+    succ = compiled.succ_ids
+    offsets = compiled.out_offsets
+    r = rng.random
     total = 0
-    for v in order:
-        if v == origin:
+    for v in compiled.topo_order:
+        if v == origin_id:
             emit = 1
-        elif received[v] == 0:
+        elif not received[v]:
             continue
-        elif v in filters:
+        elif mask[v]:
             emit = 1
         else:
             emit = received[v]
-        for child in graph.successors(v):
-            p = model.edge_probability(v, child)
+        base = offsets[v]
+        for j, child in enumerate(succ[v]):
+            p = out_probs[base + j]
             if p >= 1.0:
                 crossed = emit
             else:
                 # Each of `emit` copies crosses independently.
-                crossed = sum(1 for _ in range(emit) if rng.random() < p)
+                crossed = sum(1 for _ in range(emit) if r() < p)
             if crossed:
                 received[child] += crossed
                 total += crossed
@@ -163,26 +195,47 @@ def estimate_total_receipts(
 
     Sums over one item per source, like the deterministic engines.  Fully
     deterministic for a given ``seed``.
+
+    Live-edge trials are evaluated as exact id sweeps over pre-sampled
+    world masks on the compiled CSR — the worlds are sampled once and
+    their pruned adjacency is reused across trials, instead of the old
+    per-trial ``CGraph`` rebuild that re-validated every edge and
+    re-derived the source set on each draw.
     """
     if trials <= 0:
         raise ParameterError("trials must be positive")
+    graph = model.graph
+    compiled = graph.compiled()
     filter_set = set(filters)
-    rng = random.Random(seed)
+    mask = compiled.filter_mask(compiled.to_ids(filter_set))
     totals: list[float] = []
-    sources = list(model.graph.sources)
-    for _ in range(trials):
-        total = 0
-        if mechanism == "live-edge":
-            live = _sample_live_subgraph(model, rng)
-            for source in sources:
-                per_item = item_receipts(live, source, filter_set)
-                total += sum(per_item.values())
-        elif mechanism == "per-copy":
-            for source in sources:
-                total += _simulate_per_copy(model, source, filter_set, rng)
-        else:
-            raise ParameterError(f"unknown mechanism {mechanism!r}")
-        totals.append(float(total))
+    if mechanism == "live-edge":
+        from repro.propagation.engine import item_receipts_ids
+        from repro.propagation.sampling import get_worlds
+
+        worlds = get_worlds(
+            graph, model.to_model("live-edge", trials=trials, seed=seed)
+        )
+        for trial in range(trials):
+            pred_t, _ = worlds.adjacency(trial)
+            total = 0
+            for origin_id in compiled.source_ids:
+                total += sum(
+                    item_receipts_ids(compiled, origin_id, mask, pred_t)
+                )
+            totals.append(float(total))
+    elif mechanism == "per-copy":
+        out_probs = model.compiled().out_probs
+        rng = random.Random(seed)
+        for _ in range(trials):
+            total = 0
+            for origin_id in compiled.source_ids:
+                total += _simulate_per_copy_ids(
+                    compiled, out_probs, origin_id, mask, rng
+                )
+            totals.append(float(total))
+    else:
+        raise ParameterError(f"unknown mechanism {mechanism!r}")
     return MonteCarloEstimate(
         mean=fmean(totals),
         std=stdev(totals) if len(totals) > 1 else 0.0,

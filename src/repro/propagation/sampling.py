@@ -1,0 +1,268 @@
+"""Sampled live-edge worlds over the compiled CSR — the SAA substrate.
+
+One :class:`SampledWorlds` holds the ``trials`` live-edge coin flips a
+probabilistic placement run averages over.  Three properties carry the
+whole design:
+
+* **No per-trial graph rebuilds.**  A world is a 0/1 mask over the
+  compiled forward-CSR edge positions (one ``bytearray`` per trial) plus
+  a lazily derived *pruned adjacency* (``pred``/``succ`` id tuples over
+  the same interned ids).  The full graph's cached topological order and
+  level partition remain valid on every edge subset — every edge still
+  crosses strictly upward in depth — so all existing sweeps run unchanged
+  on a world.
+* **Common random numbers.**  Worlds are sampled *once* per
+  ``(graph, probabilities, trials, seed)`` and reused for every gain
+  evaluation of a run (cached here, weak-keyed by graph).  Under a fixed
+  set of worlds the sample-average objective
+  ``F̂(A) = (1/T) Σ_t F_t(A)`` is an average of deterministic objectives
+  on subgraphs — monotone and submodular — so CELF's stale-gain
+  upper-bound argument holds *exactly*, not just in expectation.  Fresh
+  coins per evaluation would break it.
+* **Backend-independent sampling.**  Masks come from one pure-Python
+  ``random.Random(seed)`` pass in canonical forward-CSR edge order, so the
+  python and numpy backends — and environments without NumPy — see the
+  *same* worlds: SAA placements are identical across backends, and the
+  equivalence tests can assert so bitwise.
+
+The module also hosts the pure-Python sampled evaluations (the ``python``
+backend's implementation and every backend's overflow fallback): per
+world, the usual exact id sweeps over the pruned adjacency.  All sampled
+quantities are **summed over trials as exact integers** — the mean is
+taken only at reporting boundaries — so argmax/tie-break behaviour is
+bit-identical everywhere and byte-reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+import weakref
+from collections import OrderedDict
+from collections.abc import Collection, Iterable
+from typing import TYPE_CHECKING, Hashable
+
+from repro.exceptions import MissingSourceError
+from repro.graphs.cgraph import CGraph
+from repro.propagation.model import PropagationModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.compiled import CompiledGraph
+
+Node = Hashable
+
+
+class SampledWorlds:
+    """``trials`` live-edge worlds for one graph and probability spec.
+
+    Construction samples the masks; the pruned per-world adjacency (what
+    the pure-Python sweeps consume) and the stacked mask bytes (what the
+    NumPy backend converts to an array once) are derived lazily and
+    cached, so each representation is paid for only by the backend that
+    uses it.
+    """
+
+    def __init__(self, graph: CGraph, model: PropagationModel) -> None:
+        compiled = graph.compiled()
+        compiled.topo_order  # DAG check up front, like every consumer
+        probs = compiled.edge_probabilities(
+            model.probabilities, key=model.probabilities_key()
+        )
+        self.compiled: "CompiledGraph" = compiled
+        self.probs = probs
+        self.trials = model.trials
+        self.seed = model.seed
+
+        rng = random.Random(model.seed)
+        r = rng.random
+        out_probs = probs.out_probs
+        # One coin per (trial, edge) in canonical forward-CSR order —
+        # the whole identity of a world, identical on every backend.
+        self.masks: list[bytearray] = [
+            bytearray(r() < p for p in out_probs)
+            for _ in range(model.trials)
+        ]
+        self._adjacency: list[
+            tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]
+            | None
+        ] = [None] * model.trials
+
+    def adjacency(
+        self, trial: int
+    ) -> tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]:
+        """``(pred_ids, succ_ids)`` of one world — pruned, cached.
+
+        Built by replaying the forward-CSR scan against the trial's mask;
+        after the first evaluation every later sweep of the run reuses
+        the tuples (this is what replaced the per-trial ``CGraph``
+        rebuild, which re-validated edges and re-derived sources on every
+        single trial).
+        """
+        cached = self._adjacency[trial]
+        if cached is not None:
+            return cached
+        compiled = self.compiled
+        mask = self.masks[trial]
+        pred_lists: list[list[int]] = [[] for _ in range(compiled.n)]
+        succ_t: list[tuple[int, ...]] = []
+        pos = 0
+        for children in compiled.succ_ids:
+            live: list[int] = []
+            for c in children:
+                if mask[pos]:
+                    live.append(c)
+                    pred_lists[c].append(len(succ_t))
+                pos += 1
+            succ_t.append(tuple(live))
+        # pred_lists appended parent ids as the scan met them (ascending
+        # u), matching the full graph's reverse-CSR convention.
+        result = (
+            tuple(tuple(ps) for ps in pred_lists),
+            tuple(succ_t),
+        )
+        self._adjacency[trial] = result
+        return result
+
+    def mask_bytes(self) -> bytes:
+        """All masks concatenated, trial-major — ``(trials · m)`` bytes.
+
+        The NumPy backend reshapes this to its ``(trials, m)`` live
+        matrix in one ``frombuffer`` call.
+        """
+        return b"".join(bytes(m) for m in self.masks)
+
+
+# Weak-keyed so worlds die with their graphs; the inner mapping is keyed
+# by the model's worlds_key() (mechanism-independent: both mechanisms
+# score through the same live-edge SAA coupling) and LRU-bounded — in a
+# long-lived service the (trials, seed) axis is client-controlled, and
+# without a bound every fresh seed would pin another world set (masks
+# plus pruned adjacency, megabytes each) for the graph's lifetime.
+_worlds_cache: "weakref.WeakKeyDictionary[CGraph, OrderedDict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Most world sets kept per resident graph (LRU beyond this).
+MAX_WORLD_SETS_PER_GRAPH = 8
+
+
+def get_worlds(graph: CGraph, model: PropagationModel) -> SampledWorlds:
+    """The (cached) sampled worlds of ``graph`` under ``model``.
+
+    Common-random-numbers contract: every evaluation of a run — eager
+    sweeps, CELF session updates, objective scoring — receives the same
+    worlds, so SAA gains are consistent and CELF's upper bounds are
+    exact.  Eviction cannot break that: worlds are a pure function of
+    ``(graph, probabilities, trials, seed)`` (the sampler is seeded and
+    dependency-free), so a rebuilt set is bit-identical to the evicted
+    one — the bound trades only rebuild time, never results.
+    """
+    per_graph = _worlds_cache.get(graph)
+    if per_graph is None:
+        per_graph = _worlds_cache.setdefault(graph, OrderedDict())
+    key = model.worlds_key()
+    worlds = per_graph.get(key)
+    if worlds is None:
+        worlds = SampledWorlds(graph, model)
+        per_graph[key] = worlds
+        while len(per_graph) > MAX_WORLD_SETS_PER_GRAPH:
+            per_graph.popitem(last=False)
+    else:
+        per_graph.move_to_end(key)
+    return worlds
+
+
+# ----------------------------------------------------------------------
+# Pure-Python sampled evaluations (the exact/fallback implementations)
+# ----------------------------------------------------------------------
+
+
+def sampled_marginal_gains_ids_exact(
+    graph: CGraph,
+    filter_ids: Iterable[int] = (),
+    *,
+    model: PropagationModel,
+) -> list[int]:
+    """``Σ_t I_t(v | A)`` over interned ids — exact big-int SAA gains.
+
+    One ``W`` pass plus one ``ψ`` pass per source, per world, on the
+    world's pruned adjacency.  Summed (not averaged) so ties and argmax
+    compare on exact integers; divide by ``model.trials`` for the mean.
+    """
+    from repro.core.impact import absorbing_suffix_ids
+    from repro.propagation.engine import item_receipts_ids
+
+    if not graph.sources:
+        raise MissingSourceError("graph has no sources")
+    compiled = graph.compiled()
+    mask = compiled.filter_mask(filter_ids)
+    worlds = get_worlds(graph, model)
+    gains = [0] * compiled.n
+    for trial in range(worlds.trials):
+        pred_t, succ_t = worlds.adjacency(trial)
+        w = absorbing_suffix_ids(compiled, mask, succ_t)
+        for origin_id in compiled.source_ids:
+            psi = item_receipts_ids(compiled, origin_id, mask, pred_t)
+            for v, count in enumerate(psi):
+                if count > 1 and not mask[v]:
+                    wv = w[v]
+                    if wv:
+                        gains[v] += (count - 1) * wv
+    return gains
+
+
+def sampled_simplified_impacts_ids_exact(
+    graph: CGraph,
+    filter_ids: Iterable[int] = (),
+    *,
+    model: PropagationModel,
+) -> list[int]:
+    """``Σ_t ψ_t(v) · dout_t(v)`` over interned ids (``Greedy_L``'s SAA
+    score; ``dout_t`` counts the world's *live* out-edges)."""
+    from repro.propagation.engine import item_receipts_ids
+
+    compiled = graph.compiled()
+    mask = compiled.filter_mask(filter_ids)
+    worlds = get_worlds(graph, model)
+    scores = [0] * compiled.n
+    for trial in range(worlds.trials):
+        pred_t, succ_t = worlds.adjacency(trial)
+        totals = [0] * compiled.n
+        for origin_id in compiled.source_ids:
+            psi = item_receipts_ids(compiled, origin_id, mask, pred_t)
+            for v, count in enumerate(psi):
+                if count:
+                    totals[v] += count
+        for v, total in enumerate(totals):
+            if total:
+                scores[v] += total * len(succ_t[v])
+    return scores
+
+
+def sampled_total_receipts_exact(
+    graph: CGraph,
+    filters: Collection[Node] = (),
+    *,
+    model: PropagationModel,
+) -> int:
+    """``Σ_t Φ_t(A, V)`` — the summed-over-worlds objective raw material.
+
+    Exact integer; ``/ model.trials`` is the SAA estimate of
+    ``E[Φ(A, V)]`` under live-edge relaying.
+    """
+    from repro.graphs.validation import validate_filter_set
+    from repro.propagation.engine import item_receipts_ids
+
+    if not graph.sources:
+        raise MissingSourceError("graph has no sources")
+    validate_filter_set(graph, set(filters))
+    compiled = graph.compiled()
+    mask = compiled.filter_mask(compiled.to_ids(filters))
+    worlds = get_worlds(graph, model)
+    total = 0
+    for trial in range(worlds.trials):
+        pred_t, _ = worlds.adjacency(trial)
+        for origin_id in compiled.source_ids:
+            total += sum(
+                item_receipts_ids(compiled, origin_id, mask, pred_t)
+            )
+    return total

@@ -8,8 +8,11 @@ the tests exercise them directly without sockets.
 
 Placement flow, the heart of the service::
 
-    request ── key = (digest, algorithm, strategy, backend*, k, rng_seed)
-        │                                   (*resolved: never "auto")
+    request ── key = (digest, algorithm, strategy, backend*, k, rng_seed,
+        │             model*, trials*, mc_seed*)
+        │            (*resolved: never "auto"; the model triple collapses
+        │             to ("deterministic", 0, 0) whenever the request is
+        │             deterministic relaying in disguise)
         ├─ exact cache hit ───────────────► 200, cached payload (free)
         ├─ prefix hit (k' ≤ cached k) ────► 200, sliced + rescored payload
         │                                   (one sweep; re-cached at k')
@@ -56,6 +59,12 @@ Node = Hashable
 #: Default ceiling on ``"wait": true`` blocking, seconds.
 DEFAULT_WAIT_TIMEOUT = 300.0
 
+#: Largest accepted Monte-Carlo sample count per placement request.
+#: ``trials`` scales every evaluation's work and the sampled-world
+#: memory linearly, and it is client-controlled — an unbounded value
+#: would let one request monopolize a worker and the world caches.
+MAX_TRIALS = 4096
+
 
 class RequestError(ReproError):
     """A request the service must answer with a 4xx status."""
@@ -63,6 +72,22 @@ class RequestError(ReproError):
     def __init__(self, message: str, *, status: int = 400) -> None:
         super().__init__(message)
         self.status = status
+
+
+def _build_request_model(
+    model: str,
+    trials: int,
+    mc_seed: int,
+    probabilities: "float | dict | None",
+):
+    """The resolved :class:`PropagationModel` of a request (None = exact)."""
+    if model == "deterministic" or probabilities is None:
+        return None
+    from repro.propagation.model import build_model
+
+    return build_model(
+        model, edge_prob=probabilities, trials=trials, seed=mc_seed
+    )
 
 
 def execute_placement(
@@ -73,6 +98,10 @@ def execute_placement(
     k: int,
     rng_seed: int,
     phi_constants: tuple[int, int] | None = None,
+    model: str = "deterministic",
+    trials: int = 0,
+    mc_seed: int = 0,
+    probabilities: "float | dict | None" = None,
 ) -> dict[str, Any]:
     """Run one fully-specified placement and serialize it.
 
@@ -82,10 +111,22 @@ def execute_placement(
     The ``use_backend`` scope (thread-local) covers algorithms that
     resolve the backend internally rather than via their ``backend``
     attribute.
+
+    ``model``/``trials``/``mc_seed`` are the propagation-model axis of
+    the request; ``probabilities`` the graph's registered edge relay
+    probabilities.  Deterministic requests (the default triple) take the
+    byte-identical pre-existing path.
     """
-    instance = get_algorithm(algorithm, strategy=strategy, backend=backend)
+    resolved = _build_request_model(model, trials, mc_seed, probabilities)
+    instance = get_algorithm(
+        algorithm, strategy=strategy, backend=backend, model=resolved
+    )
     with use_backend(backend):
         result = instance.place(graph, k, rng=random.Random(rng_seed))
+        if resolved is not None:
+            return placement_payload(
+                graph, result, backend=backend, model=resolved
+            )
     phi_empty, f_max = phi_constants if phi_constants else (None, None)
     return placement_payload(
         graph, result, phi_empty=phi_empty, f_max=f_max, backend=backend
@@ -99,6 +140,10 @@ def execute_placement_from_spec(
     backend: str,
     k: int,
     rng_seed: int,
+    model: str = "deterministic",
+    trials: int = 0,
+    mc_seed: int = 0,
+    probabilities: "float | dict | None" = None,
 ) -> dict[str, Any]:
     """Process-pool entry point: rebuild the graph, then place.
 
@@ -106,7 +151,18 @@ def execute_placement_from_spec(
     graph is discarded with the worker's memory once the payload returns.
     """
     graph = build_graph_from_spec(spec)
-    return execute_placement(graph, algorithm, strategy, backend, k, rng_seed)
+    return execute_placement(
+        graph,
+        algorithm,
+        strategy,
+        backend,
+        k,
+        rng_seed,
+        model=model,
+        trials=trials,
+        mc_seed=mc_seed,
+        probabilities=probabilities,
+    )
 
 
 class ServiceApp:
@@ -170,6 +226,7 @@ class ServiceApp:
             raise RequestError(
                 "provide exactly one of 'dataset' or 'edges'"
             )
+        probabilities = _parse_probabilities(body)
         try:
             if has_dataset:
                 seed = _require_int(body.get("seed", 0), "seed")
@@ -180,6 +237,7 @@ class ServiceApp:
                     body["dataset"],
                     seed=seed,
                     scale=None if scale is None else float(scale),
+                    probabilities=probabilities,
                 )
             else:
                 if not isinstance(body["edges"], str):
@@ -193,6 +251,7 @@ class ServiceApp:
                     sources=sources,
                     prepare=bool(body.get("prepare", False)),
                     initiator=body.get("initiator"),
+                    probabilities=probabilities,
                 )
         except RequestError:
             raise
@@ -251,6 +310,28 @@ class ServiceApp:
             raise RequestError(
                 f"unknown backend {backend!r}; known backends: {known}"
             )
+        model = body.get("model", "deterministic")
+        from repro.propagation.model import DEFAULT_TRIALS, MODEL_NAMES
+
+        if model not in MODEL_NAMES:
+            known = ", ".join(MODEL_NAMES)
+            raise RequestError(
+                f"unknown model {model!r}; known models: {known}"
+            )
+        trials = _require_int(body.get("trials", DEFAULT_TRIALS), "trials")
+        if trials <= 0:
+            raise RequestError("'trials' must be a positive integer")
+        if trials > MAX_TRIALS:
+            raise RequestError(
+                f"'trials' must not exceed {MAX_TRIALS}"
+            )
+        mc_seed = _require_int(body.get("mc_seed", 0), "mc_seed")
+        # Resolve the model axis the way the cache needs it: a
+        # probabilistic request on a graph with no (non-unit) registered
+        # probabilities *is* deterministic relaying, and must land on the
+        # deterministic cache cell rather than fork it.
+        if model == "deterministic" or entry.probabilities is None:
+            model, trials, mc_seed = "deterministic", 0, 0
         try:
             # Validates the name and availability; resolves "auto" to the
             # concrete backend so the cache never forks on spelling.
@@ -268,12 +349,15 @@ class ServiceApp:
             backend=resolved,
             k=k,
             rng_seed=rng_seed,
+            model=model,
+            trials=trials,
+            mc_seed=mc_seed,
         )
         return key, entry
 
     @staticmethod
     def _request_doc(key: PlacementKey) -> dict[str, Any]:
-        return {
+        doc = {
             "graph": key.digest,
             "algorithm": key.algorithm,
             "strategy": key.strategy,
@@ -281,6 +365,11 @@ class ServiceApp:
             "k": key.k,
             "rng_seed": key.rng_seed,
         }
+        if key.model != "deterministic":
+            doc["model"] = key.model
+            doc["trials"] = key.trials
+            doc["mc_seed"] = key.mc_seed
+        return doc
 
     def handle_placement(
         self, body: dict[str, Any]
@@ -354,6 +443,10 @@ class ServiceApp:
                     key.backend,
                     key.k,
                     key.rng_seed,
+                    key.model,
+                    key.trials,
+                    key.mc_seed,
+                    entry.probabilities,
                 )
             else:
                 payload = execute_placement(
@@ -364,6 +457,10 @@ class ServiceApp:
                     key.k,
                     key.rng_seed,
                     phi_constants=entry.phi_constants(),
+                    model=key.model,
+                    trials=key.trials,
+                    mc_seed=key.mc_seed,
+                    probabilities=entry.probabilities,
                 )
             self.cache.put(
                 key, payload,
@@ -390,10 +487,25 @@ class ServiceApp:
         payload["filters"] = donor_payload["filters"][: key.k]
         payload["filters_found"] = len(filters)
         payload["steps"] = donor_payload["steps"][: len(filters)]
-        phi_empty, f_max = entry.phi_constants()
-        from repro.core.objective import phi as phi_fn
+        if key.model != "deterministic":
+            # SAA scoring: the donor's phi_empty/f_max already average
+            # the request's worlds (same (model, trials, mc_seed) cell),
+            # so only Φ̂(A) needs one sampled evaluation.
+            from repro.core.objective import expected_phi
 
-        phi_a = phi_fn(entry.graph, filters, backend=key.backend)
+            resolved = _build_request_model(
+                key.model, key.trials, key.mc_seed, entry.probabilities
+            )
+            phi_empty = payload["phi_empty"]
+            f_max = payload["f_max"]
+            phi_a: Any = expected_phi(
+                entry.graph, filters, model=resolved, backend=key.backend
+            )
+        else:
+            phi_empty, f_max = entry.phi_constants()
+            from repro.core.objective import phi as phi_fn
+
+            phi_a = phi_fn(entry.graph, filters, backend=key.backend)
         payload["phi_empty"] = phi_empty
         payload["phi"] = phi_a
         payload["objective"] = phi_empty - phi_a
@@ -447,11 +559,14 @@ class ServiceApp:
 
     def handle_algorithms(self) -> tuple[int, dict[str, Any]]:
         """``GET /algorithms`` — the registry, with per-name capabilities."""
+        from repro.propagation.model import MODEL_NAMES
+
         self._count_request()
         return 200, {
             "algorithms": algorithm_catalog(),
             "strategies": list(STRATEGY_NAMES),
             "backends": list(available_backends()),
+            "models": list(MODEL_NAMES),
         }
 
     def handle_healthz(self) -> tuple[int, dict[str, Any]]:
@@ -483,3 +598,51 @@ def _require_int(value: Any, name: str) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
         raise RequestError(f"'{name}' must be an integer")
     return value
+
+
+def _parse_probabilities(body: dict[str, Any]) -> "float | dict | None":
+    """Extract registered edge probabilities from a ``POST /graphs`` body.
+
+    Exactly one of two shapes: ``"edge_prob": 0.5`` (one probability for
+    every edge) or ``"edge_probs": [[u, v, p], ...]`` (per-edge values;
+    unlisted edges relay deterministically, matching the mapping
+    convention everywhere else in the library).  Node values must match
+    the graph's nodes as uploaded (ints stay ints, strings stay
+    strings).  Edge membership and probability ranges are validated by
+    the store at registration.
+    """
+    uniform = body.get("edge_prob")
+    per_edge = body.get("edge_probs")
+    if uniform is None and per_edge is None:
+        return None
+    if uniform is not None and per_edge is not None:
+        raise RequestError(
+            "provide at most one of 'edge_prob' and 'edge_probs'"
+        )
+    if per_edge is None:
+        if isinstance(uniform, bool) or not isinstance(uniform, (int, float)):
+            raise RequestError("'edge_prob' must be a number in [0, 1]")
+        return float(uniform)
+    if not isinstance(per_edge, list):
+        raise RequestError(
+            "'edge_probs' must be a list of [u, v, probability] triples"
+        )
+    mapping: dict = {}
+    for item in per_edge:
+        if not (isinstance(item, list) and len(item) == 3):
+            raise RequestError(
+                "'edge_probs' entries must be [u, v, probability] triples"
+            )
+        u, v, p = item
+        if isinstance(p, bool) or not isinstance(p, (int, float)):
+            raise RequestError("edge probability must be a number in [0, 1]")
+        try:
+            mapping[(u, v)] = float(p)
+        except TypeError:
+            # Unhashable node values (nested JSON arrays/objects) are a
+            # malformed request, not a server fault.
+            raise RequestError(
+                "'edge_probs' node values must be node ids "
+                "(strings or numbers)"
+            ) from None
+    return mapping

@@ -37,7 +37,16 @@ DEFAULT_MAX_BYTES = 32 * 1024 * 1024
 
 @dataclass(frozen=True)
 class PlacementKey:
-    """The identity of one placement request."""
+    """The identity of one placement request.
+
+    The propagation-model axis joins the key as ``(model, trials,
+    mc_seed)``: two requests that differ only in relaying model, sample
+    count or sampler seed are different answers and must never collide.
+    Deterministic requests carry the normalized triple ``("deterministic",
+    0, 0)`` — including probabilistic requests that resolved to the
+    deterministic fast path (unit probabilities) — so the cache never
+    forks on spelling.
+    """
 
     digest: str
     algorithm: str
@@ -45,8 +54,11 @@ class PlacementKey:
     backend: str
     k: int
     rng_seed: int = 0
+    model: str = "deterministic"
+    trials: int = 0
+    mc_seed: int = 0
 
-    def cell(self) -> tuple[str, str, str, str, int]:
+    def cell(self) -> tuple[str, str, str, str, int, str, int, int]:
         """The key minus ``k`` — the axis prefix reuse searches along."""
         return (
             self.digest,
@@ -54,14 +66,20 @@ class PlacementKey:
             self.strategy,
             self.backend,
             self.rng_seed,
+            self.model,
+            self.trials,
+            self.mc_seed,
         )
 
     def describe(self) -> str:
         """Human-readable cell id (job listings, logs)."""
-        return (
+        base = (
             f"{self.digest[:12]}/{self.algorithm}/{self.strategy}"
             f"/{self.backend}/k{self.k}/rng{self.rng_seed}"
         )
+        if self.model != "deterministic":
+            base += f"/{self.model}/t{self.trials}/mc{self.mc_seed}"
+        return base
 
 
 @dataclass

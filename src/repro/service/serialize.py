@@ -15,11 +15,14 @@ within-epsilon.
 from __future__ import annotations
 
 import json
-from typing import Any, Collection, Hashable
+from typing import TYPE_CHECKING, Any, Collection, Hashable
 
 from repro.analysis.metrics import GraphStats
 from repro.core.base import PlacementResult
 from repro.core.objective import filter_ratio, max_objective, phi
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.propagation.model import PropagationModel
 from repro.graphs.cgraph import CGraph
 
 Node = Hashable
@@ -41,13 +44,47 @@ def placement_payload(
     phi_empty: int | None = None,
     f_max: int | None = None,
     backend: Any = None,
+    model: "PropagationModel | None" = None,
 ) -> dict[str, Any]:
     """The machine-readable form of one placement run.
 
     ``phi_empty`` / ``f_max`` are the per-graph constants ``Φ(∅)`` and
     ``F(V)``; passing them (the service's GraphStore caches both) saves
     two full propagation sweeps per call.
+
+    ``model`` is the probabilistic relaying model the placement ran
+    under, or None for deterministic relaying.  Deterministic payloads
+    are byte-identical to what this function always produced; under a
+    model the ``phi``/``objective``/``filter_ratio`` family carries SAA
+    estimates (floats, consistent across the payload because every value
+    averages the same sampled worlds) and a ``"model"`` block records
+    the spec — ``phi_empty``/``f_max`` overrides are ignored, since the
+    deterministic constants price a different objective.
     """
+    if model is not None:
+        from repro.core.objective import expected_phi
+
+        phi_empty_x = expected_phi(graph, (), model=model, backend=backend)
+        f_max_x = phi_empty_x - expected_phi(
+            graph, graph.nodes(), model=model, backend=backend
+        )
+        phi_a_x = expected_phi(
+            graph, result.filters, model=model, backend=backend
+        )
+        objective_x = phi_empty_x - phi_a_x
+        fr_x = 1.0 if f_max_x == 0 else objective_x / f_max_x
+        payload = _result_fields(result)
+        payload.update(
+            {
+                "model": model.describe(),
+                "phi_empty": phi_empty_x,
+                "phi": phi_a_x,
+                "objective": objective_x,
+                "f_max": f_max_x,
+                "filter_ratio": fr_x,
+            }
+        )
+        return payload
     if phi_empty is None:
         phi_empty = phi(graph, (), backend=backend)
     if f_max is None:
@@ -58,6 +95,21 @@ def placement_payload(
         graph, result.filters, phi_empty=phi_empty, f_max=f_max,
         backend=backend,
     )
+    payload = _result_fields(result)
+    payload.update(
+        {
+            "phi_empty": phi_empty,
+            "phi": phi_a,
+            "objective": objective,
+            "f_max": f_max,
+            "filter_ratio": fr,
+        }
+    )
+    return payload
+
+
+def _result_fields(result: PlacementResult) -> dict[str, Any]:
+    """The objective-independent half of a placement payload."""
     return {
         "algorithm": result.algorithm,
         "requested_k": result.requested_k,
@@ -68,11 +120,6 @@ def placement_payload(
             {"node": repr(step.node), "gain": step.gain}
             for step in result.steps
         ],
-        "phi_empty": phi_empty,
-        "phi": phi_a,
-        "objective": objective,
-        "f_max": f_max,
-        "filter_ratio": fr,
     }
 
 

@@ -37,7 +37,10 @@ Node = Hashable
 MIN_DIGEST_PREFIX = 8
 
 
-def graph_digest(graph: CGraph) -> str:
+def graph_digest(
+    graph: CGraph,
+    probabilities: "float | dict | None" = None,
+) -> str:
     """SHA-256 content digest of a c-graph.
 
     Hashes the *content* — nodes, edges, sources, each as sorted ``repr``
@@ -45,6 +48,13 @@ def graph_digest(graph: CGraph) -> str:
     structure digest identically no matter how they were built.  ``repr``
     keeps the int/string node distinction (``1`` vs ``'1'``) that plain
     string formatting would collapse.
+
+    ``probabilities`` are registered edge relay probabilities (a uniform
+    float or an edge-keyed mapping).  Non-unit probabilities join the
+    digest as sorted ``p`` lines: the same structure under different
+    relay behaviour is a different resident graph.  ``None`` and unit
+    probabilities hash identically to the probability-free form, so
+    every pre-existing digest is unchanged.
     """
     h = hashlib.sha256()
     for node in sorted(map(repr, graph.nodes())):
@@ -61,7 +71,26 @@ def graph_digest(graph: CGraph) -> str:
         h.update(b"s ")
         h.update(source.encode("utf-8"))
         h.update(b"\n")
+    for line in _probability_lines(probabilities):
+        h.update(line.encode("utf-8"))
     return h.hexdigest()
+
+
+def _probability_lines(probabilities: "float | dict | None") -> list[str]:
+    """Canonical digest lines of a probability spec ([] when unit/None)."""
+    if probabilities is None:
+        return []
+    if isinstance(probabilities, dict):
+        lines = [
+            f"p {u!r} {v!r} {float(p)!r}\n"
+            for (u, v), p in probabilities.items()
+            if float(p) < 1.0
+        ]
+        return sorted(lines)
+    p = float(probabilities)
+    if p >= 1.0:
+        return []
+    return [f"p * {p!r}\n"]
 
 
 def build_graph_from_spec(spec: dict[str, Any]) -> CGraph:
@@ -96,6 +125,7 @@ class GraphEntry:
         "graph",
         "name",
         "spec",
+        "probabilities",
         "registered_unix",
         "_lock",
         "_phi_constants",
@@ -103,12 +133,21 @@ class GraphEntry:
     )
 
     def __init__(
-        self, digest: str, graph: CGraph, name: str, spec: dict[str, Any]
+        self,
+        digest: str,
+        graph: CGraph,
+        name: str,
+        spec: dict[str, Any],
+        probabilities: "float | dict | None" = None,
     ) -> None:
         self.digest = digest
         self.graph = graph
         self.name = name
         self.spec = spec
+        # Registered edge relay probabilities (uniform float or an
+        # edge-keyed dict); None = deterministic relaying.  Part of the
+        # digest, validated against the graph at registration.
+        self.probabilities = probabilities
         self.registered_unix = time.time()
         self._lock = threading.Lock()
         self._phi_constants: tuple[int, int] | None = None
@@ -153,12 +192,19 @@ class GraphEntry:
         public_spec = {
             k: v for k, v in self.spec.items() if k != "text"
         }
+        if isinstance(self.probabilities, dict):
+            edge_prob: Any = f"per-edge({len(self.probabilities)})"
+        elif self.probabilities is not None:
+            edge_prob = float(self.probabilities)
+        else:
+            edge_prob = None
         return {
             "digest": self.digest,
             "name": self.name,
             "spec": public_spec,
             "nodes": self.graph.number_of_nodes(),
             "edges": self.graph.number_of_edges(),
+            "edge_prob": edge_prob,
             "is_dag": self.graph.is_dag(),
             "registered_unix": round(self.registered_unix, 3),
         }
@@ -218,19 +264,34 @@ class GraphStore:
         *,
         name: str,
         spec: dict[str, Any],
+        probabilities: "float | dict | None" = None,
     ) -> tuple[GraphEntry, bool]:
         """Register an already-built graph; returns ``(entry, created)``.
 
         Idempotent: a graph whose digest is already resident returns the
         existing entry untouched (``created=False``).
+
+        ``probabilities`` registers edge relay probabilities alongside
+        the structure: they are validated here (unknown edges raise
+        :class:`~repro.exceptions.MissingEdgeError`, out-of-range values
+        ParameterError), join the content digest, and become the default
+        probability spec of every probabilistic placement on this entry.
+        Unit probabilities are normalized away — they *are* deterministic
+        relaying, and must not fork the digest.
         """
-        digest = graph_digest(graph)
+        if probabilities is not None:
+            # Bind to the compiled view now: validates every mapping edge
+            # and caches the CSR-aligned arrays every sampler will use.
+            probs = graph.compiled().edge_probabilities(probabilities)
+            if probs.unit:
+                probabilities = None
+        digest = graph_digest(graph, probabilities)
         with self._lock:
             existing = self._entries.get(digest)
             if existing is not None:
                 self._entries.move_to_end(digest)
                 return existing, False
-            entry = GraphEntry(digest, graph, name, spec)
+            entry = GraphEntry(digest, graph, name, spec, probabilities)
             self._entries[digest] = entry
             while (
                 self._max_graphs is not None
@@ -260,6 +321,7 @@ class GraphStore:
         *,
         seed: int = 0,
         scale: float | None = None,
+        probabilities: "float | dict | None" = None,
     ) -> tuple[GraphEntry, bool]:
         """Generate and register a built-in dataset."""
         if dataset not in DATASET_NAMES:
@@ -276,7 +338,9 @@ class GraphStore:
         graph = build_graph_from_spec(spec)
         scale_txt = "default" if scale is None else f"{scale:g}"
         name = f"{dataset}@{scale_txt}/seed{seed}"
-        return self.register_graph(graph, name=name, spec=spec)
+        return self.register_graph(
+            graph, name=name, spec=spec, probabilities=probabilities
+        )
 
     def register_edges(
         self,
@@ -286,6 +350,7 @@ class GraphStore:
         sources: list[Node] | None = None,
         prepare: bool = False,
         initiator: Node | None = None,
+        probabilities: "float | dict | None" = None,
     ) -> tuple[GraphEntry, bool]:
         """Parse and register an uploaded edge list.
 
@@ -302,7 +367,9 @@ class GraphStore:
             "initiator": initiator,
         }
         graph = build_graph_from_spec(spec)
-        return self.register_graph(graph, name=name, spec=spec)
+        return self.register_graph(
+            graph, name=name, spec=spec, probabilities=probabilities
+        )
 
     # ------------------------------------------------------------------
     # Lookup

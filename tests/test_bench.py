@@ -285,3 +285,72 @@ def test_place_cli_backend_flag(capsys):
         outputs[backend] = capsys.readouterr().out
     assert outputs["python"] == outputs["auto"]
     assert "'z2'" in outputs["python"]
+
+
+def _backends() -> tuple[str, ...]:
+    from repro.backends.registry import available_backends
+
+    return available_backends()
+
+
+def test_probabilistic_scenarios_and_mc_speedup():
+    from repro.bench.compare import mc_speedup
+    from repro.bench.harness import run_suite
+    from repro.bench.scenarios import BenchScenario, apply_model, get_suite
+
+    scenarios = [
+        BenchScenario(
+            "fig10", "G_All", 3, backend,
+            model="live-edge", edge_prob=0.6, trials=8,
+        )
+        for backend in _backends()
+    ]
+    assert scenarios[0].key() == (
+        "fig10@default/seed0/G_All/k3/"
+        f"{_backends()[0]}/live-edge-p0.6-t8"
+    )
+    records = run_suite(scenarios)
+    # Filter sets identical across backends (shared sampled worlds).
+    assert len({r.filters for r in records}) == 1
+    rows = [r.to_json_dict() for r in records]
+    assert all(row["model"] == "live-edge" for row in rows)
+    assert all(row["trials"] == 8 for row in rows)
+    ratios = mc_speedup(records)
+    if len(_backends()) > 1:
+        assert set(ratios) == {
+            "fig10@default/seed0/G_All/k3/numpy/live-edge-p0.6-t8"
+        }
+        assert all(r > 0 for r in ratios.values())
+    else:
+        assert ratios == {}
+    # Deterministic cells never enter the MC comparison.
+    assert mc_speedup(
+        [r.to_json_dict() for r in run_suite(
+            [BenchScenario("fig10", "G_1", 2, _backends()[0])]
+        )]
+    ) == {}
+    # The probabilistic suite crosses both algorithms over the backends,
+    # and apply_model re-parameterizes algorithm cells only.
+    suite = get_suite("probabilistic", backends=_backends())
+    assert {s.model for s in suite} == {"live-edge"}
+    assert {s.trials for s in suite} == {64}
+    converted = apply_model(
+        get_suite("toy", backends=_backends()),
+        model="live-edge", edge_prob=0.5, trials=4,
+    )
+    assert all(
+        s.model == "live-edge" for s in converted if s.mode == "algorithm"
+    )
+    untouched = apply_model(
+        get_suite("toy", backends=_backends()),
+        model="deterministic", edge_prob=1.0, trials=0,
+    )
+    assert all(s.model == "deterministic" for s in untouched)
+    # Unit probabilities *are* deterministic relaying: a probabilistic
+    # label would mark exact-path cells as MC cells and pollute
+    # mc_speedup, so apply_model collapses them.
+    unit = apply_model(
+        get_suite("toy", backends=_backends()),
+        model="live-edge", edge_prob=1.0, trials=64,
+    )
+    assert all(s.model == "deterministic" for s in unit)

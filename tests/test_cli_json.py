@@ -77,3 +77,36 @@ def test_serve_subcommand_parses():
     ])
     assert args.func.__name__ == "_cmd_serve"
     assert args.port == 0 and args.preload == ["fig1"]
+
+
+def test_place_json_probabilistic_model_block():
+    argv = [
+        "place", "--dataset", "fig10", "--algorithm", "G_All", "-k", "3",
+        "--model", "live-edge", "--edge-prob", "0.6", "--trials", "16",
+        "--json",
+    ]
+    code, out = run_cli(argv)
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["model"] == {
+        "name": "live-edge", "edge_prob": 0.6, "trials": 16, "seed": 0,
+    }
+    # SAA estimates are mutually consistent floats over shared worlds.
+    assert payload["objective"] == payload["phi_empty"] - payload["phi"]
+    # Byte-identical across repeats (seeded worlds) and strategies.
+    assert run_cli(argv) == (code, out)
+    lazy_code, lazy_out = run_cli(argv + ["--strategy", "lazy"])
+    assert lazy_code == 0
+    assert json.loads(lazy_out)["filters"] == payload["filters"]
+
+
+def test_place_json_deterministic_unchanged_by_model_flags():
+    base = [
+        "place", "--dataset", "fig1", "--algorithm", "G_All", "-k", "2",
+        "--json",
+    ]
+    _, plain = run_cli(base)
+    # --model deterministic and unit probabilities are the same request.
+    _, det = run_cli(base + ["--model", "deterministic"])
+    _, unit = run_cli(base + ["--model", "live-edge", "--edge-prob", "1.0"])
+    assert plain == det == unit

@@ -459,3 +459,165 @@ def test_service_bench_scenarios_run():
     ratios = cache_speedup(records)
     assert set(ratios) == {"fig10@default/seed0/G_All/k3/python/hit"}
     assert all(r > 1.0 for r in ratios.values())
+
+
+# ----------------------------------------------------------------------
+# Propagation-model axis
+# ----------------------------------------------------------------------
+
+
+def test_probabilistic_registration_forks_the_digest(app):
+    _, det = app.handle_register_graph({"dataset": "fig1"})
+    _, prob = app.handle_register_graph({"dataset": "fig1", "edge_prob": 0.5})
+    assert prob["digest"] != det["digest"]
+    assert prob["edge_prob"] == 0.5 and det["edge_prob"] is None
+    # Unit probabilities *are* deterministic relaying: same digest.
+    _, unit = app.handle_register_graph({"dataset": "fig1", "edge_prob": 1.0})
+    assert unit["digest"] == det["digest"]
+    # Per-edge form registers, validates membership, and is digest-stable.
+    _, mapped = app.handle_register_graph(
+        {"dataset": "fig1", "edge_probs": [["s", "x", 0.5]]}
+    )
+    _, mapped_again = app.handle_register_graph(
+        {"dataset": "fig1", "edge_probs": [["s", "x", 0.5]]}
+    )
+    assert mapped["digest"] == mapped_again["digest"]
+    assert mapped["digest"] not in (det["digest"], prob["digest"])
+
+
+def test_probabilistic_registration_validation(app):
+    from repro.service.app import RequestError
+
+    cases = [
+        {"dataset": "fig1", "edge_prob": "half"},
+        {"dataset": "fig1", "edge_prob": 1.5},
+        {"dataset": "fig1", "edge_probs": [["s", "nope", 0.5]]},
+        {"dataset": "fig1", "edge_probs": [["s", "x"]]},
+        {"dataset": "fig1", "edge_prob": 0.5, "edge_probs": []},
+        # Unhashable node values are a client error, never a 500.
+        {"dataset": "fig1", "edge_probs": [[["s"], "x", 0.5]]},
+    ]
+    for body in cases:
+        with pytest.raises(RequestError):
+            app.handle_register_graph(body)
+
+
+def test_placement_key_carries_model_axis(app):
+    _, reg = app.handle_register_graph({"dataset": "fig1", "edge_prob": 0.6})
+    digest = reg["digest"]
+    base = {"graph": digest, "algorithm": "G_All", "k": 2, "wait": True}
+    status, det = app.place_sync(base)
+    assert status == 200 and "model" not in det["result"]
+    status, prob = app.place_sync(
+        {**base, "model": "live-edge", "trials": 12, "mc_seed": 1}
+    )
+    assert status == 200
+    assert prob["result"]["model"] == {
+        "name": "live-edge",
+        "edge_prob": 0.6,
+        "trials": 12,
+        "seed": 1,
+    }
+    assert prob["request"]["model"] == "live-edge"
+    # The two requests occupy distinct cache cells.
+    status, prob_again = app.place_sync(
+        {**base, "model": "live-edge", "trials": 12, "mc_seed": 1}
+    )
+    assert prob_again["cache"]["hit"] is True
+    assert prob_again["result"] == prob["result"]
+    status, other_seed = app.place_sync(
+        {**base, "model": "live-edge", "trials": 12, "mc_seed": 2}
+    )
+    assert other_seed["cache"]["hit"] is False
+
+
+def test_probabilistic_request_on_deterministic_graph_shares_cell(app):
+    digest = register_fig1(app)
+    base = {"graph": digest, "algorithm": "G_All", "k": 2, "wait": True}
+    status, det = app.place_sync(base)
+    assert status == 200
+    # No registered probabilities ⇒ the model resolves to deterministic
+    # and must hit the deterministic cache cell, not fork it.
+    status, prob = app.place_sync({**base, "model": "live-edge"})
+    assert prob["cache"]["hit"] is True
+    assert prob["result"] == det["result"]
+    assert "model" not in prob["request"]
+
+
+def test_probabilistic_prefix_reuse_rescores_with_the_model(app):
+    _, reg = app.handle_register_graph(
+        {"dataset": "fig10", "edge_prob": 0.7}
+    )
+    digest = reg["digest"]
+    body = {
+        "graph": digest,
+        "algorithm": "G_All",
+        "k": 4,
+        "model": "live-edge",
+        "trials": 8,
+        "mc_seed": 3,
+        "wait": True,
+    }
+    status, full = app.place_sync(body)
+    assert status == 200
+    status, sliced = app.place_sync({**body, "k": 1})
+    assert sliced["cache"]["hit"] and sliced["cache"]["kind"] == "prefix"
+    status, direct_app = app.place_sync({**body, "k": 1})
+    # Derived entry was re-cached under its own probabilistic key.
+    assert direct_app["cache"]["kind"] == "exact"
+    # And the derived numbers equal a from-scratch k=1 run.
+    fresh = ServiceApp(workers=1, warm_backends=False)
+    try:
+        fresh.handle_register_graph({"dataset": "fig10", "edge_prob": 0.7})
+        status, direct = fresh.place_sync({**body, "k": 1})
+    finally:
+        fresh.close()
+    assert sliced["result"]["filters"] == direct["result"]["filters"]
+    assert sliced["result"]["phi"] == direct["result"]["phi"]
+    assert (
+        sliced["result"]["filter_ratio"] == direct["result"]["filter_ratio"]
+    )
+
+
+def test_trials_capped_per_request(app):
+    from repro.service.app import MAX_TRIALS, RequestError
+
+    _, reg = app.handle_register_graph({"dataset": "fig1", "edge_prob": 0.5})
+    body = {
+        "graph": reg["digest"], "algorithm": "G_All", "k": 1,
+        "model": "live-edge", "trials": MAX_TRIALS + 1,
+    }
+    with pytest.raises(RequestError):
+        app.handle_placement(body)
+
+
+def test_world_caches_are_bounded():
+    from repro.propagation.model import build_model
+    from repro.propagation.sampling import (
+        MAX_WORLD_SETS_PER_GRAPH,
+        _worlds_cache,
+        get_worlds,
+    )
+
+    graph = CGraph([("s", "a"), ("s", "b"), ("a", "c"), ("b", "c")])
+    for seed in range(MAX_WORLD_SETS_PER_GRAPH + 5):
+        get_worlds(
+            graph, build_model("live-edge", edge_prob=0.5, seed=seed, trials=2)
+        )
+    assert len(_worlds_cache[graph]) == MAX_WORLD_SETS_PER_GRAPH
+    # Eviction is results-neutral: a rebuilt world set is bit-identical.
+    model = build_model("live-edge", edge_prob=0.5, seed=0, trials=2)
+    masks = [bytes(m) for m in get_worlds(graph, model).masks]
+    for seed in range(1, MAX_WORLD_SETS_PER_GRAPH + 5):
+        get_worlds(
+            graph, build_model("live-edge", edge_prob=0.5, seed=seed, trials=2)
+        )
+    assert [bytes(m) for m in get_worlds(graph, model).masks] == masks
+
+
+def test_algorithms_endpoint_reports_models(app):
+    _, doc = app.handle_algorithms()
+    assert doc["models"] == ["deterministic", "live-edge", "per-copy"]
+    by_name = {row["name"]: row for row in doc["algorithms"]}
+    assert by_name["G_All"]["model_aware"] is True
+    assert by_name["Rand_K"]["model_aware"] is False
