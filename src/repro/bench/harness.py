@@ -30,6 +30,7 @@ from repro.core.registry import get_algorithm
 from repro.datasets.registry import get_dataset
 from repro.exceptions import ParameterError
 from repro.graphs.cgraph import CGraph
+from repro.obs.trace import span
 
 
 def _load_graph(scenario: BenchScenario) -> CGraph:
@@ -90,6 +91,7 @@ def run_compile_scenario(
         seconds=best,
         repeats=repeats,
         plan_seconds=best,
+        phases={"plan": best},
         evaluations={"compiled_bytes": compiled.nbytes()},
         filters=(),
         filters_found=0,
@@ -144,10 +146,11 @@ def run_scenario(
     # builds the backend's live-mask adapters — the model's one-time
     # cost, amortized by every timed evaluation exactly as in a real run.
     start = time.perf_counter()
-    graph.compiled()
-    backend.warm(graph)
-    if model is not None:
-        backend.sampled_marginal_gains_ids(graph, (), model=model)
+    with span("bench.plan", cell=scenario.key()):
+        graph.compiled()
+        backend.warm(graph)
+        if model is not None:
+            backend.sampled_marginal_gains_ids(graph, (), model=model)
     plan_seconds = time.perf_counter() - start
     if compile_seconds is not None:
         plan_seconds += compile_seconds
@@ -157,52 +160,49 @@ def run_scenario(
     best = float("inf")
     result = None
     with use_backend(counting):
-        for _ in range(repeats):
-            counting.reset()
-            start = time.perf_counter()
-            result = algorithm.place(graph, scenario.k)
-            elapsed = time.perf_counter() - start
-            best = min(best, elapsed)
+        with span("bench.solve", cell=scenario.key(), repeats=repeats):
+            for _ in range(repeats):
+                counting.reset()
+                start = time.perf_counter()
+                result = algorithm.place(graph, scenario.k)
+                elapsed = time.perf_counter() - start
+                best = min(best, elapsed)
+    counting.publish()
     assert result is not None  # repeats >= 1
 
-    if model is not None:
-        # SAA scoring: every estimate averages the cell's shared worlds,
-        # so objective and FR are mutually consistent floats.
-        from repro.core.objective import expected_phi
+    score_start = time.perf_counter()
+    with span("bench.score", cell=scenario.key()):
+        if model is not None:
+            # SAA scoring: every estimate averages the cell's shared
+            # worlds, so objective and FR are mutually consistent floats.
+            from repro.core.objective import expected_phi
 
-        phi_empty_x = expected_phi(graph, (), model=model, backend=backend)
-        f_max_x = phi_empty_x - expected_phi(
-            graph, graph.nodes(), model=model, backend=backend
-        )
-        objective_x = phi_empty_x - expected_phi(
-            graph, result.filters, model=model, backend=backend
-        )
-        fr_x = 1.0 if f_max_x == 0 else objective_x / f_max_x
-        return BenchRecord(
-            scenario=scenario,
-            nodes=graph.number_of_nodes(),
-            edges=graph.number_of_edges(),
-            seconds=best,
-            repeats=repeats,
-            plan_seconds=plan_seconds,
-            evaluations=dict(counting.counts),
-            filters=tuple(repr(v) for v in result.filters),
-            filters_found=len(result.filters),
-            objective=objective_x,
-            filter_ratio=fr_x,
-        )
+            phi_empty_x = expected_phi(
+                graph, (), model=model, backend=backend
+            )
+            f_max_x = phi_empty_x - expected_phi(
+                graph, graph.nodes(), model=model, backend=backend
+            )
+            objective = phi_empty_x - expected_phi(
+                graph, result.filters, model=model, backend=backend
+            )
+            fr = 1.0 if f_max_x == 0 else objective / f_max_x
+        else:
+            # Score with at most three sweeps: Φ(∅) and Φ(V)
+            # (amortizable via phi_constants) plus Φ(A), each once.
+            if phi_constants is None:
+                phi_empty = phi(graph, (), backend=backend)
+                f_max = max_objective(
+                    graph, phi_empty=phi_empty, backend=backend
+                )
+            else:
+                phi_empty, f_max = phi_constants
+            objective = objective_value(
+                graph, result.filters, phi_empty=phi_empty, backend=backend
+            )
+            fr = 1.0 if f_max == 0 else objective / f_max
+    score_seconds = time.perf_counter() - score_start
 
-    # Score with at most three sweeps: Φ(∅) and Φ(V) (amortizable via
-    # phi_constants) plus Φ(A), each exactly once.
-    if phi_constants is None:
-        phi_empty = phi(graph, (), backend=backend)
-        f_max = max_objective(graph, phi_empty=phi_empty, backend=backend)
-    else:
-        phi_empty, f_max = phi_constants
-    objective = objective_value(
-        graph, result.filters, phi_empty=phi_empty, backend=backend
-    )
-    fr = 1.0 if f_max == 0 else objective / f_max
     return BenchRecord(
         scenario=scenario,
         nodes=graph.number_of_nodes(),
@@ -210,6 +210,11 @@ def run_scenario(
         seconds=best,
         repeats=repeats,
         plan_seconds=plan_seconds,
+        phases={
+            "plan": plan_seconds,
+            "solve": best,
+            "score": score_seconds,
+        },
         evaluations=dict(counting.counts),
         filters=tuple(repr(v) for v in result.filters),
         filters_found=len(result.filters),

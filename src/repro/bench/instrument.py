@@ -1,302 +1,37 @@
-"""Evaluation-count instrumentation.
+"""Evaluation-count instrumentation (now part of :mod:`repro.obs`).
 
-Wall-clock alone can't tell *why* an algorithm got faster — fewer sweeps
-(lazy evaluation working) and cheaper sweeps (a faster backend) look the
-same on a stopwatch.  :class:`CountingBackend` wraps any propagation
-backend, forwards every call unchanged, and tallies how many of each
-evaluation the algorithm requested.  The bench harness installs it as the
-default backend for the timed region and reports the counters next to the
-seconds, so the ``lazy`` suite can show CELF issuing one full sweep where
-eager ``Greedy_All`` issues ``k``.
-
-Two cost classes are counted, and the distinction is what the lazy-greedy
-numbers hinge on:
-
-* **Full-graph sweeps** (:data:`SWEEP_KINDS`) — every one-shot query
-  (``node_receipts``, ``total_receipts``, ``marginal_gains``,
-  ``simplified_impacts``) plus ``session_init``, the full ψ/W pass a
-  :class:`~repro.backends.base.GainSession` runs at construction.  Each
-  touches the whole graph once per source.  :func:`sweep_count` sums
-  these; "propagation evaluations" in the acceptance criteria and in
-  ``docs/benchmarks.md`` means exactly this sum.
-* **Incremental session operations** (:data:`INCREMENTAL_KINDS`) —
-  ``session_update`` (one regional re-settle per placed filter) and
-  ``session_refresh`` (one O(1) stale-gain read per lazy re-evaluation).
-  Strictly cheaper than a sweep; :func:`incremental_count` sums them and
-  the bench table reports them in their own column so the two cost
-  classes are never conflated.
+The counting wrapper that the bench harness installs around the timed
+region grew into the stack-wide :class:`repro.obs.InstrumentedBackend`
+— same counters, same semantics, plus span/metric emission when the
+tracer is enabled.  This module re-exports the machinery under its
+historical names so existing imports (and the bench docs' vocabulary)
+keep working: ``CountingBackend`` *is* ``InstrumentedBackend``.
 """
 
 from __future__ import annotations
 
-from collections.abc import Collection, Iterable, Mapping
-from typing import Hashable
-
-from repro.backends.base import PropagationBackend
-from repro.graphs.cgraph import CGraph
-
-Node = Hashable
-
-#: Full-graph sweep counters: one increment = one whole-graph pass.
-SWEEP_KINDS: tuple[str, ...] = (
-    "node_receipts",
-    "total_receipts",
-    "marginal_gains",
-    "simplified_impacts",
-    "session_init",
+from repro.obs.instrument import (
+    EVALUATION_KINDS,
+    INCREMENTAL_KINDS,
+    SWEEP_KINDS,
+    InstrumentedBackend,
+    InstrumentedGainSession,
+    incremental_count,
+    sweep_count,
 )
 
-#: Incremental session counters: regional updates and O(1) gain reads.
-INCREMENTAL_KINDS: tuple[str, ...] = (
-    "session_update",
-    "session_refresh",
-)
+#: Historical bench-layer names for the obs-layer wrapper.
+CountingBackend = InstrumentedBackend
+CountingGainSession = InstrumentedGainSession
 
-#: Counter keys, one per protocol method / session operation.
-EVALUATION_KINDS: tuple[str, ...] = SWEEP_KINDS + INCREMENTAL_KINDS
-
-
-def sweep_count(counts: Mapping[str, int]) -> int:
-    """Full-graph propagation sweeps in an evaluation-counter mapping."""
-    return sum(counts.get(kind, 0) for kind in SWEEP_KINDS)
-
-
-def incremental_count(counts: Mapping[str, int]) -> int:
-    """Incremental session operations in an evaluation-counter mapping."""
-    return sum(counts.get(kind, 0) for kind in INCREMENTAL_KINDS)
-
-
-class CountingBackend:
-    """A pass-through :class:`PropagationBackend` that counts calls."""
-
-    def __init__(self, inner: PropagationBackend) -> None:
-        self.inner = inner
-        self.name = f"counting({inner.name})"
-        self.counts: dict[str, int] = dict.fromkeys(EVALUATION_KINDS, 0)
-
-    def reset(self) -> None:
-        """Zero all counters (the harness resets between repeats)."""
-        self.counts = dict.fromkeys(EVALUATION_KINDS, 0)
-
-    def total_evaluations(self) -> int:
-        """All evaluations of any kind, summed."""
-        return sum(self.counts.values())
-
-    def sweep_evaluations(self) -> int:
-        """Full-graph sweeps only — the lazy-vs-eager headline number."""
-        return sweep_count(self.counts)
-
-    def incremental_evaluations(self) -> int:
-        """Incremental session operations only."""
-        return incremental_count(self.counts)
-
-    # -- PropagationBackend ------------------------------------------------
-
-    def node_receipts(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-        *,
-        items_per_source: int | Mapping[Node, int] = 1,
-    ) -> dict[Node, int]:
-        """Forward ``node_receipts`` (``Σ_s ψ_s``), counting one sweep."""
-        self.counts["node_receipts"] += 1
-        return self.inner.node_receipts(
-            graph, filters, items_per_source=items_per_source
-        )
-
-    def total_receipts(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-        *,
-        items_per_source: int | Mapping[Node, int] = 1,
-    ) -> int:
-        """Forward ``total_receipts`` (``Φ(A, V)``), counting one sweep."""
-        self.counts["total_receipts"] += 1
-        return self.inner.total_receipts(
-            graph, filters, items_per_source=items_per_source
-        )
-
-    def marginal_gains(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-    ) -> dict[Node, int]:
-        """Forward ``marginal_gains`` (``I(v | A)``), counting one sweep."""
-        self.counts["marginal_gains"] += 1
-        return self.inner.marginal_gains(graph, filters)
-
-    def marginal_gains_ids(
-        self,
-        graph: CGraph,
-        filter_ids: Iterable[int] = (),
-    ):
-        """Forward the id fast path — the same whole-graph sweep, so it
-        lands on the same ``marginal_gains`` counter."""
-        self.counts["marginal_gains"] += 1
-        return self.inner.marginal_gains_ids(graph, filter_ids)
-
-    def simplified_impacts(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-    ) -> dict[Node, int]:
-        """Forward ``simplified_impacts`` (``I'(v)``), counting one sweep."""
-        self.counts["simplified_impacts"] += 1
-        return self.inner.simplified_impacts(graph, filters)
-
-    def simplified_impacts_ids(
-        self,
-        graph: CGraph,
-        filter_ids: Iterable[int] = (),
-    ):
-        """Forward the id fast path, counted as ``simplified_impacts``."""
-        self.counts["simplified_impacts"] += 1
-        return self.inner.simplified_impacts_ids(graph, filter_ids)
-
-    def gain_session(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-    ) -> "CountingGainSession":
-        """Open a counted incremental session (``session_init`` sweep)."""
-        # Construction runs the session's one full ψ/W sweep.
-        self.counts["session_init"] += 1
-        return CountingGainSession(
-            self.inner.gain_session(graph, filters), self.counts
-        )
-
-    # -- propagation-model axis -------------------------------------------
-    # Sampled evaluations batch the model's worlds into one call; each
-    # call is one (T-fold) whole-graph pass, so it lands on the same
-    # counter as its deterministic counterpart — the sweep/incremental
-    # split stays comparable across the model axis.
-
-    def sampled_marginal_gains_ids(
-        self,
-        graph: CGraph,
-        filter_ids: Iterable[Node] = (),
-        *,
-        model=None,
-    ):
-        """Forward the sampled gains batch, counted as ``marginal_gains``."""
-        self.counts["marginal_gains"] += 1
-        return self.inner.sampled_marginal_gains_ids(
-            graph, filter_ids, model=model
-        )
-
-    def sampled_simplified_impacts_ids(
-        self,
-        graph: CGraph,
-        filter_ids: Iterable[Node] = (),
-        *,
-        model=None,
-    ):
-        """Forward the sampled ``I'`` batch, counted as ``simplified_impacts``."""
-        self.counts["simplified_impacts"] += 1
-        return self.inner.sampled_simplified_impacts_ids(
-            graph, filter_ids, model=model
-        )
-
-    def sampled_total_receipts(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-        *,
-        model=None,
-    ) -> int:
-        """Forward the sampled ``Φ`` batch, counted as ``total_receipts``."""
-        self.counts["total_receipts"] += 1
-        return self.inner.sampled_total_receipts(graph, filters, model=model)
-
-    def expected_total_receipts(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-        *,
-        model=None,
-    ) -> float:
-        """Forward the SAA ``Φ`` estimate, counted as ``total_receipts``."""
-        self.counts["total_receipts"] += 1
-        return self.inner.expected_total_receipts(graph, filters, model=model)
-
-    def expected_marginal_gains(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-        *,
-        model=None,
-    ):
-        """Forward the SAA gain estimate, counted as ``marginal_gains``."""
-        self.counts["marginal_gains"] += 1
-        return self.inner.expected_marginal_gains(graph, filters, model=model)
-
-    def sampled_gain_session(
-        self,
-        graph: CGraph,
-        filters: Collection[Node] = (),
-        *,
-        model=None,
-    ) -> "CountingGainSession":
-        """Open a counted SAA session (``session_init`` batched sweep)."""
-        self.counts["session_init"] += 1
-        return CountingGainSession(
-            self.inner.sampled_gain_session(graph, filters, model=model),
-            self.counts,
-        )
-
-    def warm(self, graph: CGraph) -> None:
-        """Forward warm-up uncounted — preprocessing, not an evaluation."""
-        self.inner.warm(graph)
-
-
-class CountingGainSession:
-    """A pass-through :class:`~repro.backends.base.GainSession` that counts.
-
-    Shares its counter dict with the :class:`CountingBackend` that opened
-    it, so a whole placement run lands in one ledger.
-    """
-
-    def __init__(self, inner, counts: dict[str, int]) -> None:
-        self.inner = inner
-        self.backend_name = inner.backend_name
-        self.counts = counts
-
-    @property
-    def filters(self):
-        return self.inner.filters
-
-    @property
-    def nodes_touched(self) -> int:
-        return self.inner.nodes_touched
-
-    def gains(self):
-        """All current ``I(v | A)`` from the wrapped session, uncounted."""
-        # Reading the maintained state back is a copy, not a sweep: the
-        # propagation work was already charged to session_init/update.
-        return self.inner.gains()
-
-    def gain(self, node):
-        """One lazy gain read, counted as ``session_refresh``."""
-        self.counts["session_refresh"] += 1
-        return self.inner.gain(node)
-
-    def add_filter(self, node):
-        """One regional re-settle, counted as ``session_update``."""
-        self.counts["session_update"] += 1
-        return self.inner.add_filter(node)
-
-    def gains_ids(self):
-        """Id-indexed gains from the wrapped session, uncounted (a copy)."""
-        return self.inner.gains_ids()
-
-    def gain_id(self, node_id):
-        """One lazy id gain read, counted as ``session_refresh``."""
-        self.counts["session_refresh"] += 1
-        return self.inner.gain_id(node_id)
-
-    def add_filter_id(self, node_id):
-        """One regional id re-settle, counted as ``session_update``."""
-        self.counts["session_update"] += 1
-        return self.inner.add_filter_id(node_id)
+__all__ = [
+    "EVALUATION_KINDS",
+    "INCREMENTAL_KINDS",
+    "SWEEP_KINDS",
+    "CountingBackend",
+    "CountingGainSession",
+    "InstrumentedBackend",
+    "InstrumentedGainSession",
+    "incremental_count",
+    "sweep_count",
+]

@@ -60,6 +60,12 @@ class BenchRecord:
     #: One-time per-graph plan/compile cost paid outside the timed solve
     #: region (shared CompiledGraph build + backend plan adapter).
     plan_seconds: float = 0.0
+    #: Wall-clock per harness phase (``plan`` / ``solve`` / ``score``),
+    #: the span breakdown ``plan_seconds`` is one entry of.  ``solve`` is
+    #: the best-of-repeats timed region (== ``seconds``); ``score`` is
+    #: the untimed objective/FR pass.  Optional: absent in pre-obs
+    #: documents, and the comparator ignores it.
+    phases: dict[str, float] = field(default_factory=dict)
     evaluations: dict[str, int] = field(default_factory=dict)
     filters: tuple[str, ...] = ()  # repr()'d node ids, selection order
     filters_found: int = 0

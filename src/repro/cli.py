@@ -35,6 +35,13 @@ runs lazy-capable algorithms (the ``Greedy_All`` family) as CELF on the
 incremental gain engine — identical selections and objective values, one
 full propagation sweep instead of one per placement.
 
+``--trace`` / ``--profile PATH`` (on ``place``, ``experiment`` and
+``bench``) record the run's spans via :mod:`repro.obs` and print the
+timing tree / write Chrome ``trace_event`` JSON.  ``serve`` grows
+``--log-format {text,json}`` for the access log and traces every job so
+``GET /traces/{job_id}`` serves the solve's span tree (``--no-trace``
+opts out).
+
 ``--model {deterministic,live-edge,per-copy}`` with ``--edge-prob`` and
 ``--trials`` (on ``place``, ``experiment`` and ``bench``) selects the
 propagation model: ``deterministic`` (the default, and anything with
@@ -65,6 +72,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -161,6 +169,54 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans for the run and print the timing tree",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="write the run's spans as Chrome trace_event JSON to PATH "
+        "(load in chrome://tracing or Perfetto)",
+    )
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace):
+    """Enable tracing around a command when ``--trace``/``--profile`` ask.
+
+    The command's spans collect under one explicit trace; on exit the
+    tree is printed (``--trace``) and/or dumped as Chrome ``trace_event``
+    JSON (``--profile PATH``).  Without either flag this is a no-op and
+    the instrumentation stays on its disabled fast path.
+    """
+    trace_flag = getattr(args, "trace", False)
+    profile_path = getattr(args, "profile", None)
+    if not trace_flag and profile_path is None:
+        yield
+        return
+    from repro.obs.trace import TRACER, chrome_trace, format_trace
+
+    was_enabled = TRACER.enabled
+    TRACER.enable()
+    try:
+        with TRACER.trace(command=args.command) as trace:
+            yield
+    finally:
+        if not was_enabled:
+            TRACER.disable()
+    if trace_flag:
+        print()
+        print(format_trace(trace))
+    if profile_path is not None:
+        with open(profile_path, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(trace), fh, indent=2, sort_keys=True)
+        print(f"wrote Chrome trace to {profile_path}")
+
+
 def _build_cli_model(args: argparse.Namespace):
     """The resolved PropagationModel of a command line (None = exact)."""
     from repro.propagation.model import build_model
@@ -177,16 +233,26 @@ def _cmd_place(args: argparse.Namespace) -> int:
     # Scoped, not set_default_backend: main() is also a library entry
     # point and must not leak a changed process default to its caller.
     with use_backend(args.backend):
-        return _run_place(args)
+        with _observed(args):
+            return _run_place(args)
 
 
 def _run_place(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    model = _build_cli_model(args)
-    algorithm = get_algorithm(
-        args.algorithm, strategy=args.strategy, model=model
-    )
-    result = algorithm.place(graph, args.k)
+    from repro.obs.trace import span
+
+    with span("place.load", seed=args.seed):
+        graph = _load_graph(args)
+        model = _build_cli_model(args)
+        algorithm = get_algorithm(
+            args.algorithm, strategy=args.strategy, model=model
+        )
+    with span("place.solve", algorithm=args.algorithm, k=args.k):
+        result = algorithm.place(graph, args.k)
+    with span("place.score"):
+        return _report_place(args, graph, model, result)
+
+
+def _report_place(args, graph, model, result) -> int:
     if args.json:
         from repro.service.serialize import placement_payload
 
@@ -264,9 +330,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
+    from repro.obs.trace import TRACER
     from repro.service.app import ServiceApp
     from repro.service.http import make_server
 
+    # Access logs (repro.service at INFO) need a handler to be seen;
+    # json lines stay unadorned so each stderr line is one JSON object.
+    logger = logging.getLogger("repro.service")
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        if args.log_format == "text":
+            handler.setFormatter(
+                logging.Formatter("%(asctime)s %(levelname)s %(message)s")
+            )
+        logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    # Jobs trace their solves under the job id so GET /traces/{job_id}
+    # can serve the span tree; --no-trace opts the service out.
+    if args.no_trace:
+        TRACER.disable()
+    else:
+        TRACER.enable()
     app = ServiceApp(
         workers=args.workers,
         pool=args.pool,
@@ -277,7 +363,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     for spec in args.preload:
         entry, _ = app.store.register_dataset(spec)
         print(f"preloaded {entry.name} as {entry.digest[:12]}")
-    server = make_server(app, args.host, args.port, verbose=args.verbose)
+    server = make_server(
+        app,
+        args.host,
+        args.port,
+        verbose=args.verbose,
+        log_format=args.log_format,
+    )
     # Ephemeral binds (--port 0) print the real port; scripts parse this.
     print(
         f"filter-placement service listening on "
@@ -311,7 +403,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     # The runner's own --trials is the experiments' repetition knob, so
     # the Monte-Carlo sample count travels under a distinct name.
     forwarded.extend(["--mc-trials", str(args.trials)])
-    return runner_main(forwarded)
+    with _observed(args):
+        return runner_main(forwarded)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -370,11 +463,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             edge_prob=args.edge_prob,
             trials=args.trials,
         )
-    records = run_suite(
-        scenarios,
-        repeats=args.repeats,
-        progress=None if args.quiet else print,
-    )
+    with _observed(args):
+        records = run_suite(
+            scenarios,
+            repeats=args.repeats,
+            progress=None if args.quiet else print,
+        )
     print()
     print(render_records(records))
     doc = build_document(
@@ -461,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the machine-readable payload (identical to the "
         "service's POST /placements result)",
     )
+    _add_observability_arguments(place)
     place.set_defaults(func=_cmd_place)
 
     stats = sub.add_parser("stats", help="dataset structural summary")
@@ -483,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(experiment)
     _add_strategy_argument(experiment)
     _add_model_arguments(experiment)
+    _add_observability_arguments(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     from repro.bench.scenarios import SUITE_NAMES
@@ -525,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress"
     )
     _add_model_arguments(bench)
+    _add_observability_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     from repro.service.jobs import POOL_KINDS
@@ -573,6 +670,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="DATASET",
         help="built-in datasets to register at boot",
+    )
+    from repro.service.http import LOG_FORMATS
+
+    serve.add_argument(
+        "--log-format",
+        choices=LOG_FORMATS,
+        default="text",
+        help="access-log rendering: text = human-readable lines, "
+        "json = one JSON object per line (default: text)",
+    )
+    serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable job tracing (GET /traces/{job_id} will 404)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"

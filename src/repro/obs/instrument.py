@@ -1,0 +1,418 @@
+"""Backend instrumentation: evaluation counters, spans, and metrics.
+
+Wall-clock alone can't tell *why* an algorithm got faster — fewer sweeps
+(lazy evaluation working) and cheaper sweeps (a faster backend) look the
+same on a stopwatch.  :class:`InstrumentedBackend` wraps any propagation
+backend, forwards every call unchanged, and tallies how many of each
+evaluation the algorithm requested.  The bench harness installs it as the
+default backend for the timed region and reports the counters next to the
+seconds; the service wraps every placement's backend in one so
+``GET /metrics`` can attribute work per backend and evaluation kind.
+
+Two cost classes are counted, and the distinction is what the lazy-greedy
+numbers hinge on:
+
+* **Full-graph sweeps** (:data:`SWEEP_KINDS`) — every one-shot query
+  (``node_receipts``, ``total_receipts``, ``marginal_gains``,
+  ``simplified_impacts``) plus ``session_init``, the full ψ/W pass a
+  :class:`~repro.backends.base.GainSession` runs at construction.  Each
+  touches the whole graph once per source.  :func:`sweep_count` sums
+  these; "propagation evaluations" in the acceptance criteria and in
+  ``docs/benchmarks.md`` means exactly this sum.
+* **Incremental session operations** (:data:`INCREMENTAL_KINDS`) —
+  ``session_update`` (one regional re-settle per placed filter) and
+  ``session_refresh`` (one O(1) stale-gain read per lazy re-evaluation).
+  Strictly cheaper than a sweep; :func:`incremental_count` sums them and
+  the bench table reports them in their own column so the two cost
+  classes are never conflated.
+
+Cost discipline (``BENCH.json`` timings run through this wrapper):
+
+* The per-call path does exactly what the old bench ``CountingBackend``
+  did — one unlocked dict increment — plus a single
+  ``TRACER.enabled`` attribute read.  No locks, no metric objects.
+* Spans and per-sweep latency histograms are recorded only while the
+  tracer is enabled, and only for sweep-class calls (a CELF run issues
+  thousands of ``session_refresh`` reads; tracing each would cost more
+  than the read).
+* Global metrics are **published in bulk**: :meth:`publish` flushes the
+  local counter dict into :data:`~repro.obs.metrics.REGISTRY` as
+  ``fp_backend_evaluations_total{kind,backend}`` increments.  Callers
+  (the service, the bench harness) publish once per run, so the hot
+  loop never touches a lock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable, Mapping
+from time import perf_counter
+from typing import Hashable
+
+from repro.backends.base import PropagationBackend
+from repro.graphs.cgraph import CGraph
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import TRACER
+
+Node = Hashable
+
+#: Full-graph sweep counters: one increment = one whole-graph pass.
+SWEEP_KINDS: tuple[str, ...] = (
+    "node_receipts",
+    "total_receipts",
+    "marginal_gains",
+    "simplified_impacts",
+    "session_init",
+)
+
+#: Incremental session counters: regional updates and O(1) gain reads.
+INCREMENTAL_KINDS: tuple[str, ...] = (
+    "session_update",
+    "session_refresh",
+)
+
+#: Counter keys, one per protocol method / session operation.
+EVALUATION_KINDS: tuple[str, ...] = SWEEP_KINDS + INCREMENTAL_KINDS
+
+
+def sweep_count(counts: Mapping[str, int]) -> int:
+    """Full-graph propagation sweeps in an evaluation-counter mapping."""
+    return sum(counts.get(kind, 0) for kind in SWEEP_KINDS)
+
+
+def incremental_count(counts: Mapping[str, int]) -> int:
+    """Incremental session operations in an evaluation-counter mapping."""
+    return sum(counts.get(kind, 0) for kind in INCREMENTAL_KINDS)
+
+
+def evaluation_counter(registry: MetricsRegistry = REGISTRY):
+    """The ``fp_backend_evaluations_total`` family in ``registry``."""
+    return registry.counter(
+        "fp_backend_evaluations_total",
+        "Propagation evaluations forwarded by instrumented backends.",
+        labels=("kind", "backend"),
+    )
+
+
+def evaluation_histogram(registry: MetricsRegistry = REGISTRY):
+    """The ``fp_backend_evaluation_seconds`` family in ``registry``."""
+    return registry.histogram(
+        "fp_backend_evaluation_seconds",
+        "Latency of sweep-class backend evaluations (traced runs only).",
+        labels=("kind", "backend"),
+    )
+
+
+class InstrumentedBackend:
+    """A pass-through :class:`PropagationBackend` that counts and traces.
+
+    Keeps a local ``counts`` dict (the old bench ``CountingBackend``
+    ledger, unchanged semantics), emits a span and a latency-histogram
+    observation per sweep while the tracer is enabled, and flushes the
+    ledger to the global metrics registry on :meth:`publish`.
+    """
+
+    def __init__(self, inner: PropagationBackend) -> None:
+        self.inner = inner
+        self.name = f"counting({inner.name})"
+        self.counts: dict[str, int] = dict.fromkeys(EVALUATION_KINDS, 0)
+        self._published: dict[str, int] = dict.fromkeys(EVALUATION_KINDS, 0)
+
+    def reset(self) -> None:
+        """Zero all counters (the harness resets between repeats)."""
+        self.counts = dict.fromkeys(EVALUATION_KINDS, 0)
+        self._published = dict.fromkeys(EVALUATION_KINDS, 0)
+
+    def total_evaluations(self) -> int:
+        """All evaluations of any kind, summed."""
+        return sum(self.counts.values())
+
+    def sweep_evaluations(self) -> int:
+        """Full-graph sweeps only — the lazy-vs-eager headline number."""
+        return sweep_count(self.counts)
+
+    def incremental_evaluations(self) -> int:
+        """Incremental session operations only."""
+        return incremental_count(self.counts)
+
+    def publish(self, registry: MetricsRegistry = REGISTRY) -> None:
+        """Flush counts gathered since the last publish into ``registry``.
+
+        Bulk, idempotent-per-delta: only the increments since the last
+        :meth:`publish` (or :meth:`reset`) are added, so callers may
+        publish as often as they like without double counting.
+        """
+        counter = evaluation_counter(registry)
+        backend = self.inner.name
+        for kind in EVALUATION_KINDS:
+            delta = self.counts[kind] - self._published[kind]
+            if delta:
+                counter.inc(delta, kind=kind, backend=backend)
+                self._published[kind] = self.counts[kind]
+
+    # -- internal: the counted-and-maybe-traced sweep forwarder -----------
+
+    def _sweep(self, kind: str, method, *args, **kwargs):
+        self.counts[kind] += 1
+        if not TRACER.enabled:
+            return method(*args, **kwargs)
+        backend = self.inner.name
+        start = perf_counter()
+        with TRACER.span(f"backend.{kind}", backend=backend):
+            result = method(*args, **kwargs)
+        evaluation_histogram().observe(
+            perf_counter() - start, kind=kind, backend=backend
+        )
+        return result
+
+    # -- PropagationBackend ------------------------------------------------
+
+    def node_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> dict[Node, int]:
+        """Forward ``node_receipts`` (``Σ_s ψ_s``), counting one sweep."""
+        return self._sweep(
+            "node_receipts",
+            self.inner.node_receipts,
+            graph,
+            filters,
+            items_per_source=items_per_source,
+        )
+
+    def total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        items_per_source: int | Mapping[Node, int] = 1,
+    ) -> int:
+        """Forward ``total_receipts`` (``Φ(A, V)``), counting one sweep."""
+        return self._sweep(
+            "total_receipts",
+            self.inner.total_receipts,
+            graph,
+            filters,
+            items_per_source=items_per_source,
+        )
+
+    def marginal_gains(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        """Forward ``marginal_gains`` (``I(v | A)``), counting one sweep."""
+        return self._sweep(
+            "marginal_gains", self.inner.marginal_gains, graph, filters
+        )
+
+    def marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ):
+        """Forward the id fast path — the same whole-graph sweep, so it
+        lands on the same ``marginal_gains`` counter."""
+        return self._sweep(
+            "marginal_gains", self.inner.marginal_gains_ids, graph, filter_ids
+        )
+
+    def simplified_impacts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> dict[Node, int]:
+        """Forward ``simplified_impacts`` (``I'(v)``), counting one sweep."""
+        return self._sweep(
+            "simplified_impacts",
+            self.inner.simplified_impacts,
+            graph,
+            filters,
+        )
+
+    def simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[int] = (),
+    ):
+        """Forward the id fast path, counted as ``simplified_impacts``."""
+        return self._sweep(
+            "simplified_impacts",
+            self.inner.simplified_impacts_ids,
+            graph,
+            filter_ids,
+        )
+
+    def gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+    ) -> "InstrumentedGainSession":
+        """Open a counted incremental session (``session_init`` sweep)."""
+        # Construction runs the session's one full ψ/W sweep.
+        inner = self._sweep(
+            "session_init", self.inner.gain_session, graph, filters
+        )
+        return InstrumentedGainSession(inner, self.counts)
+
+    # -- propagation-model axis -------------------------------------------
+    # Sampled evaluations batch the model's worlds into one call; each
+    # call is one (T-fold) whole-graph pass, so it lands on the same
+    # counter as its deterministic counterpart — the sweep/incremental
+    # split stays comparable across the model axis.
+
+    def sampled_marginal_gains_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[Node] = (),
+        *,
+        model=None,
+    ):
+        """Forward the sampled gains batch, counted as ``marginal_gains``."""
+        return self._sweep(
+            "marginal_gains",
+            self.inner.sampled_marginal_gains_ids,
+            graph,
+            filter_ids,
+            model=model,
+        )
+
+    def sampled_simplified_impacts_ids(
+        self,
+        graph: CGraph,
+        filter_ids: Iterable[Node] = (),
+        *,
+        model=None,
+    ):
+        """Forward the sampled ``I'`` batch, counted as ``simplified_impacts``."""
+        return self._sweep(
+            "simplified_impacts",
+            self.inner.sampled_simplified_impacts_ids,
+            graph,
+            filter_ids,
+            model=model,
+        )
+
+    def sampled_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ) -> int:
+        """Forward the sampled ``Φ`` batch, counted as ``total_receipts``."""
+        return self._sweep(
+            "total_receipts",
+            self.inner.sampled_total_receipts,
+            graph,
+            filters,
+            model=model,
+        )
+
+    def expected_total_receipts(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ) -> float:
+        """Forward the SAA ``Φ`` estimate, counted as ``total_receipts``."""
+        return self._sweep(
+            "total_receipts",
+            self.inner.expected_total_receipts,
+            graph,
+            filters,
+            model=model,
+        )
+
+    def expected_marginal_gains(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ):
+        """Forward the SAA gain estimate, counted as ``marginal_gains``."""
+        return self._sweep(
+            "marginal_gains",
+            self.inner.expected_marginal_gains,
+            graph,
+            filters,
+            model=model,
+        )
+
+    def sampled_gain_session(
+        self,
+        graph: CGraph,
+        filters: Collection[Node] = (),
+        *,
+        model=None,
+    ) -> "InstrumentedGainSession":
+        """Open a counted SAA session (``session_init`` batched sweep)."""
+        inner = self._sweep(
+            "session_init",
+            self.inner.sampled_gain_session,
+            graph,
+            filters,
+            model=model,
+        )
+        return InstrumentedGainSession(inner, self.counts)
+
+    def warm(self, graph: CGraph) -> None:
+        """Forward warm-up uncounted — preprocessing, not an evaluation."""
+        self.inner.warm(graph)
+
+
+class InstrumentedGainSession:
+    """A pass-through :class:`~repro.backends.base.GainSession` that counts.
+
+    Shares its counter dict with the :class:`InstrumentedBackend` that
+    opened it, so a whole placement run lands in one ledger.  The
+    incremental operations are the optimizer's innermost loop, so they
+    stay span-free even under tracing — one dict increment each.
+    """
+
+    def __init__(self, inner, counts: dict[str, int]) -> None:
+        self.inner = inner
+        self.backend_name = inner.backend_name
+        self.counts = counts
+
+    @property
+    def filters(self):
+        return self.inner.filters
+
+    @property
+    def nodes_touched(self) -> int:
+        return self.inner.nodes_touched
+
+    def gains(self):
+        """All current ``I(v | A)`` from the wrapped session, uncounted."""
+        # Reading the maintained state back is a copy, not a sweep: the
+        # propagation work was already charged to session_init/update.
+        return self.inner.gains()
+
+    def gain(self, node):
+        """One lazy gain read, counted as ``session_refresh``."""
+        self.counts["session_refresh"] += 1
+        return self.inner.gain(node)
+
+    def add_filter(self, node):
+        """One regional re-settle, counted as ``session_update``."""
+        self.counts["session_update"] += 1
+        return self.inner.add_filter(node)
+
+    def gains_ids(self):
+        """Id-indexed gains from the wrapped session, uncounted (a copy)."""
+        return self.inner.gains_ids()
+
+    def gain_id(self, node_id):
+        """One lazy id gain read, counted as ``session_refresh``."""
+        self.counts["session_refresh"] += 1
+        return self.inner.gain_id(node_id)
+
+    def add_filter_id(self, node_id):
+        """One regional id re-settle, counted as ``session_update``."""
+        self.counts["session_update"] += 1
+        return self.inner.add_filter_id(node_id)

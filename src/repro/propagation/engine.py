@@ -160,10 +160,13 @@ def node_receipts(
     for the registry default); every backend returns identical integers.
     """
     from repro.backends.registry import resolve_backend
+    from repro.obs.trace import span
 
-    return resolve_backend(backend).node_receipts(
-        graph, filters, items_per_source=items_per_source
-    )
+    resolved = resolve_backend(backend)
+    with span("engine.node_receipts", backend=resolved.name):
+        return resolved.node_receipts(
+            graph, filters, items_per_source=items_per_source
+        )
 
 
 def node_receipts_exact(
@@ -202,10 +205,13 @@ def total_receipts(
 ) -> int:
     """``Φ(A, V)``: the grand total number of received copies."""
     from repro.backends.registry import resolve_backend
+    from repro.obs.trace import span
 
-    return resolve_backend(backend).total_receipts(
-        graph, filters, items_per_source=items_per_source
-    )
+    resolved = resolve_backend(backend)
+    with span("engine.total_receipts", backend=resolved.name):
+        return resolved.total_receipts(
+            graph, filters, items_per_source=items_per_source
+        )
 
 
 def item_emissions(

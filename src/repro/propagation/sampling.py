@@ -38,6 +38,7 @@ from __future__ import annotations
 import random
 import weakref
 from collections import OrderedDict
+from time import perf_counter
 from collections.abc import Collection, Iterable
 from typing import TYPE_CHECKING, Hashable
 
@@ -156,17 +157,40 @@ def get_worlds(graph: CGraph, model: PropagationModel) -> SampledWorlds:
     dependency-free), so a rebuilt set is bit-identical to the evicted
     one — the bound trades only rebuild time, never results.
     """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import span
+
+    cache_counter = REGISTRY.counter(
+        "fp_sampling_world_cache_total",
+        "Sampled-world cache lookups by outcome.",
+        labels=("outcome",),
+    )
     per_graph = _worlds_cache.get(graph)
     if per_graph is None:
         per_graph = _worlds_cache.setdefault(graph, OrderedDict())
     key = model.worlds_key()
     worlds = per_graph.get(key)
     if worlds is None:
-        worlds = SampledWorlds(graph, model)
+        cache_counter.inc(outcome="miss")
+        start = perf_counter()
+        with span(
+            "sampling.build_worlds", trials=model.trials, seed=model.seed
+        ):
+            worlds = SampledWorlds(graph, model)
+        elapsed = perf_counter() - start
+        REGISTRY.counter(
+            "fp_sampling_worlds_built_total",
+            "Sampled world sets constructed (cache misses that built).",
+        ).inc()
+        REGISTRY.histogram(
+            "fp_sampling_world_build_seconds",
+            "Wall-clock seconds spent sampling a world set.",
+        ).observe(elapsed)
         per_graph[key] = worlds
         while len(per_graph) > MAX_WORLD_SETS_PER_GRAPH:
             per_graph.popitem(last=False)
     else:
+        cache_counter.inc(outcome="hit")
         per_graph.move_to_end(key)
     return worlds
 

@@ -116,21 +116,45 @@ def execute_placement(
     the request; ``probabilities`` the graph's registered edge relay
     probabilities.  Deterministic requests (the default triple) take the
     byte-identical pre-existing path.
+
+    Every execution runs through an
+    :class:`~repro.obs.instrument.InstrumentedBackend` (a pure
+    forwarder — results are unchanged) so per-kind evaluation counts
+    land on the metrics ledger, and the solve/serialize split is
+    recorded as spans when tracing is on (the serializer never sees the
+    wrapper's name, so payloads stay bit-identical to the CLI's).
     """
+    from repro.obs.instrument import InstrumentedBackend
+    from repro.obs.trace import span
+
     resolved = _build_request_model(model, trials, mc_seed, probabilities)
-    instance = get_algorithm(
-        algorithm, strategy=strategy, backend=backend, model=resolved
-    )
-    with use_backend(backend):
-        result = instance.place(graph, k, rng=random.Random(rng_seed))
-        if resolved is not None:
+    with span("service.plan", algorithm=algorithm, backend=backend, k=k):
+        instrumented = InstrumentedBackend(get_backend(backend))
+        instance = get_algorithm(
+            algorithm, strategy=strategy, backend=instrumented, model=resolved
+        )
+    try:
+        with use_backend(instrumented):
+            with span("service.solve", algorithm=algorithm, k=k):
+                result = instance.place(
+                    graph, k, rng=random.Random(rng_seed)
+                )
+            if resolved is not None:
+                with span("service.serialize"):
+                    return placement_payload(
+                        graph, result, backend=instrumented, model=resolved
+                    )
+        phi_empty, f_max = phi_constants if phi_constants else (None, None)
+        with span("service.serialize"):
             return placement_payload(
-                graph, result, backend=backend, model=resolved
+                graph,
+                result,
+                phi_empty=phi_empty,
+                f_max=f_max,
+                backend=instrumented,
             )
-    phi_empty, f_max = phi_constants if phi_constants else (None, None)
-    return placement_payload(
-        graph, result, phi_empty=phi_empty, f_max=f_max, backend=backend
-    )
+    finally:
+        instrumented.publish()
 
 
 def execute_placement_from_spec(
@@ -411,8 +435,12 @@ class ServiceApp:
             or timeout <= 0
         ):
             raise RequestError("'timeout' must be a positive number")
+        from repro.obs.trace import current_request_id
+
         job, created = self.jobs.submit(
-            str(key), self._job_fn(key, entry)
+            str(key),
+            self._job_fn(key, entry),
+            request_id=current_request_id(),
         )
         if body.get("wait"):
             if not job.wait(float(timeout)):
@@ -570,12 +598,20 @@ class ServiceApp:
         }
 
     def handle_healthz(self) -> tuple[int, dict[str, Any]]:
-        """``GET /healthz`` — liveness plus the numbers an operator wants."""
+        """``GET /healthz`` — liveness plus the numbers an operator wants.
+
+        Store and cache figures come from each component's own
+        lock-guarded ``stats()`` snapshot, so a concurrent registration
+        can never produce a torn view (e.g. a ``graphs`` count that
+        disagrees with the resident node/edge totals it arrived with).
+        """
+        store_stats = self.store.stats()
         return 200, {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_unix, 3),
             "requests": self._requests,
-            "graphs": len(self.store),
+            "graphs": store_stats["graphs"],
+            "store": store_stats,
             "cache": self.cache.stats(),
             "jobs": self.jobs.counts(),
             "pool": {
@@ -583,6 +619,132 @@ class ServiceApp:
                 "workers": self.jobs.workers,
             },
             "backends": list(available_backends()),
+        }
+
+    def handle_metrics(self) -> tuple[int, str]:
+        """``GET /metrics`` — the ledger in Prometheus text exposition.
+
+        Live-updated families (backend evaluations, CELF counters, job
+        durations, HTTP timings) render as-is; component-owned counters
+        (cache, store, jobs, request totals) are *mirrored at scrape
+        time* from each component's lock-guarded ``stats()``/``counts()``
+        snapshot, so the scrape is consistent and live code never pays a
+        registry lock per cache lookup.
+        """
+        from repro.obs.metrics import REGISTRY
+
+        self._count_request()
+        cache = self.cache.stats()
+        cache_requests = REGISTRY.counter(
+            "fp_cache_requests_total",
+            "Placement-cache lookups by outcome.",
+            labels=("outcome",),
+        )
+        cache_requests.set_total(cache["hits"], outcome="hit")
+        cache_requests.set_total(cache["prefix_hits"], outcome="prefix_hit")
+        cache_requests.set_total(cache["misses"], outcome="miss")
+        REGISTRY.counter(
+            "fp_cache_evictions_total", "Placement-cache evictions."
+        ).set_total(cache["evictions"])
+        REGISTRY.gauge(
+            "fp_cache_entries", "Resident placement-cache entries."
+        ).set(cache["entries"])
+        REGISTRY.gauge(
+            "fp_cache_bytes", "Resident placement-cache payload bytes."
+        ).set(cache["bytes"])
+
+        store = self.store.stats()
+        REGISTRY.gauge(
+            "fp_store_graphs", "Graphs resident in the store."
+        ).set(store["graphs"])
+        REGISTRY.counter(
+            "fp_store_registrations_total", "Graph registrations accepted."
+        ).set_total(store["registrations"])
+        REGISTRY.counter(
+            "fp_store_evictions_total", "Graphs evicted by the LRU bound."
+        ).set_total(store["evictions"])
+        REGISTRY.gauge(
+            "fp_store_resident_nodes", "Nodes across resident graphs."
+        ).set(store["nodes"])
+        REGISTRY.gauge(
+            "fp_store_resident_edges", "Edges across resident graphs."
+        ).set(store["edges"])
+        REGISTRY.gauge(
+            "fp_store_compiled_bytes",
+            "Bytes held by resident compiled graph plans.",
+        ).set(store["compiled_bytes"])
+
+        jobs = self.jobs.counts()
+        job_gauge = REGISTRY.gauge(
+            "fp_jobs", "Known jobs by lifecycle state.", labels=("state",)
+        )
+        for state in ("queued", "running", "done", "failed", "cancelled"):
+            job_gauge.set(jobs[state], state=state)
+        REGISTRY.counter(
+            "fp_jobs_submitted_total", "Jobs submitted to the pool."
+        ).set_total(jobs["submitted"])
+        REGISTRY.counter(
+            "fp_jobs_deduplicated_total",
+            "Placement requests answered by an in-flight identical job.",
+        ).set_total(jobs["deduplicated"])
+
+        with self._lock:
+            requests = self._requests
+        REGISTRY.counter(
+            "fp_service_requests_total", "Requests handled by the app."
+        ).set_total(requests)
+        REGISTRY.gauge(
+            "fp_service_uptime_seconds", "Seconds since app construction."
+        ).set(round(time.time() - self.started_unix, 3))
+
+        # Stable catalog: families whose natural first increment may not
+        # have happened yet (no probabilistic request, no sweep on this
+        # instance) are seeded with explicit zero samples, so scrapers
+        # and dashboards see the full schema from the first scrape.
+        from repro.obs.instrument import evaluation_counter
+
+        evaluation_counter().inc(0, kind="marginal_gains", backend="python")
+        world_cache = REGISTRY.counter(
+            "fp_sampling_world_cache_total",
+            "Sampled-world cache lookups by outcome.",
+            labels=("outcome",),
+        )
+        world_cache.inc(0, outcome="hit")
+        world_cache.inc(0, outcome="miss")
+        REGISTRY.counter(
+            "fp_sampling_worlds_built_total",
+            "Sampled world sets constructed (cache misses that built).",
+        ).inc(0)
+        return 200, REGISTRY.render()
+
+    def handle_trace(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        """``GET /traces/{job_id}`` — the recorded span tree of a solve.
+
+        404s when the job is unknown *or* its trace is gone (tracing
+        disabled, job not finished, or the ring buffer already evicted
+        it); the error message distinguishes the cases.
+        """
+        from repro.obs.trace import TRACER, format_trace
+
+        self._count_request()
+        try:
+            job = self.jobs.get(job_id)
+        except ReproError as exc:
+            raise RequestError(str(exc), status=404) from None
+        trace = TRACER.get(job_id)
+        if trace is None:
+            detail = (
+                "tracing is disabled on this server"
+                if not TRACER.enabled
+                else "no trace recorded (job not finished, or evicted)"
+            )
+            raise RequestError(
+                f"no trace for job {job_id!r}: {detail}", status=404
+            )
+        return 200, {
+            "job": job.describe(),
+            "trace": trace.to_dict(),
+            "tree": format_trace(trace),
         }
 
     # ------------------------------------------------------------------

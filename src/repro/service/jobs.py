@@ -56,9 +56,14 @@ _job_counter = itertools.count(1)
 class Job:
     """One unit of placement work and its observable lifecycle."""
 
-    def __init__(self, job_id: str, key: str) -> None:
+    def __init__(
+        self, job_id: str, key: str, request_id: str | None = None
+    ) -> None:
         self.id = job_id
         self.key = key
+        # The X-Request-Id of the request that created the job, for
+        # correlating a job (and its trace) back to the access log.
+        self.request_id = request_id
         self.state = "queued"
         self.created_unix = time.time()
         self.started_unix: float | None = None
@@ -86,6 +91,8 @@ class Job:
                 "state": self.state,
                 "created_unix": round(self.created_unix, 3),
             }
+            if self.request_id is not None:
+                doc["request_id"] = self.request_id
             if self.started_unix is not None:
                 doc["started_unix"] = round(self.started_unix, 3)
             if self.finished_unix is not None:
@@ -172,33 +179,55 @@ class JobManager:
         self,
         key: str,
         fn: Callable[[], dict[str, Any]],
+        *,
+        request_id: str | None = None,
     ) -> tuple[Job, bool]:
         """Run ``fn`` on the pool under ``key``.
 
         Returns ``(job, created)``; ``created=False`` means an identical
         job was already queued or running and was returned instead —
-        the dedup guarantee.
+        the dedup guarantee.  ``request_id`` tags the job with the
+        originating request for log/trace correlation.
         """
         with self._lock:
             existing = self._in_flight.get(key)
             if existing is not None and not existing.finished:
                 self.deduplicated += 1
                 return existing, False
-            job = Job(f"job-{next(_job_counter):06d}", key)
+            job = Job(f"job-{next(_job_counter):06d}", key, request_id)
             self._jobs[job.id] = job
             self._in_flight[key] = job
             self.submitted += 1
             self._prune_finished_locked()
 
         def run() -> None:
+            from repro.obs.metrics import REGISTRY
+            from repro.obs.trace import TRACER
+
             if not job._mark_running():
                 return  # cancelled while queued
+            start = time.perf_counter()
+            outcome = "done"
             try:
-                payload = fn()
+                # The trace is keyed by the job id so GET /traces/{id}
+                # can serve this solve's span tree; the worker thread
+                # has its own span stack, so concurrent jobs nest
+                # independently.
+                attrs = {"key": key}
+                if job.request_id is not None:
+                    attrs["request_id"] = job.request_id
+                with TRACER.trace(trace_id=job.id, **attrs):
+                    payload = fn()
                 job._finish(payload)
             except BaseException as exc:  # report, never kill the worker
+                outcome = "failed"
                 job._fail(exc)
             finally:
+                REGISTRY.histogram(
+                    "fp_job_run_seconds",
+                    "Wall-clock seconds a job spent running on a worker.",
+                    labels=("outcome",),
+                ).observe(time.perf_counter() - start, outcome=outcome)
                 with self._lock:
                     if self._in_flight.get(key) is job:
                         del self._in_flight[key]

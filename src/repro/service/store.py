@@ -239,6 +239,10 @@ class GraphStore:
         self._lock = threading.RLock()
         self._max_graphs = max_graphs
         self._warm_backends = warm_backends
+        #: Lifetime counters (guarded by the same lock as the entries, so
+        #: ``stats()`` snapshots counters and residency consistently).
+        self.registrations = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -293,11 +297,13 @@ class GraphStore:
                 return existing, False
             entry = GraphEntry(digest, graph, name, spec, probabilities)
             self._entries[digest] = entry
+            self.registrations += 1
             while (
                 self._max_graphs is not None
                 and len(self._entries) > self._max_graphs
             ):
                 self._entries.popitem(last=False)
+                self.evictions += 1
         if self._warm_backends and graph.is_dag():
             # Pay the one-time costs at registration, outside any
             # request's timing: the single shared compiled plan, plus
@@ -370,6 +376,39 @@ class GraphStore:
         return self.register_graph(
             graph, name=name, spec=spec, probabilities=probabilities
         )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """One consistent snapshot of residency and lifetime counters.
+
+        Taken entirely under the store lock, so a concurrent
+        registration can never produce a torn read (e.g. the new entry
+        counted in ``graphs`` but not yet in ``nodes``) — ``/healthz``
+        and ``/metrics`` both report from this.  ``compiled_bytes`` sums
+        the compiled plans that exist; registration warms them for DAGs,
+        so for a warmed store this is the real resident plan memory.
+        """
+        with self._lock:
+            nodes = 0
+            edges = 0
+            compiled_bytes = 0
+            for entry in self._entries.values():
+                nodes += entry.graph.number_of_nodes()
+                edges += entry.graph.number_of_edges()
+                compiled = entry.graph._compiled_cache
+                if compiled is not None:
+                    compiled_bytes += compiled.nbytes()
+            return {
+                "graphs": len(self._entries),
+                "registrations": self.registrations,
+                "evictions": self.evictions,
+                "nodes": nodes,
+                "edges": edges,
+                "compiled_bytes": compiled_bytes,
+            }
 
     # ------------------------------------------------------------------
     # Lookup
