@@ -34,6 +34,15 @@ graph.  This is what makes the lazy-greedy (CELF) optimizer
 front, then per-placement regional updates and O(1) per-candidate gain
 reads.
 
+Both backends additionally expose a **sweep tier** (``tier="bitpack"`` or
+``"lanes"`` at construction): ``bitpack`` answers the aggregate queries
+from bit-packed source-reachability words (two sweeps total, independent
+of the source count) while ``lanes`` keeps the historical one-lane-per-
+source formulation as the differential reference.  Tiers change only the
+*route* to a number, never the number — the fuzz harness holds them
+bit-identical.  See :mod:`repro.backends.probe` for how each route picks
+a safely-wide representation before committing to fixed-width arithmetic.
+
 Implementations live next to this module:
 
 * :class:`repro.backends.python_backend.PythonBackend` — the exact
@@ -42,7 +51,8 @@ Implementations live next to this module:
   engine (levelized batched sweeps, int64 with overflow detection).
 
 Use :func:`repro.backends.registry.get_backend` /
-:func:`repro.backends.registry.use_backend` to select one.
+:func:`repro.backends.registry.use_backend` to select one, or
+:func:`repro.backends.registry.build_backend` for a tier-pinned instance.
 """
 
 from __future__ import annotations

@@ -20,15 +20,33 @@ array operations per level:
 * ``I(v | A) = (Σ_s max(ψ_s(v) − 1, 0)) · W(v)`` and
   ``I'(v) = (Σ_s ψ_s(v)) · dout(v)`` are then elementwise products.
 
+Sweep tiers
+-----------
+Like the python backend, this backend exposes two deterministic sweep
+**tiers**, chosen at construction and bit-identical by contract:
+
+* ``bitpack`` (default) — source reachability is packed into ``uint64``
+  words (64 sources per lane) and swept once per graph with
+  ``np.bitwise_or.reduceat`` popcount gathers; every evaluation then
+  runs **two** 1-D sweeps — the aggregate totals ``T(v) = Σ_s ψ_s(v)``
+  and the suffix ``W`` — regardless of the source count, using
+  ``I(v | A) = (T(v) − nreach(v)) · W(v)`` (``nreach`` is the packed
+  popcount of sources reaching ``v``: since adding filters never cuts a
+  source off, ``Σ_s max(ψ_s − 1, 0) = T − nreach`` for any filter set).
+* ``lanes`` — the historical per-source formulation: the
+  ``(num_sources, n)`` ψ matrix.  Kept as the differential reference and
+  the ``bitpack_speedup`` bench baseline.
+
 Exactness and overflow
 ----------------------
 Receipt counts are path counts: they grow exponentially in the worst case
 and can overrun int64 silently.  At plan-build time the backend runs the
 same recurrences once in float64 with ``A = ∅`` — an upper bound for every
 filter set, because adding filters only ever shrinks ``ψ`` and ``W`` — and
-records the largest value any query could produce.  If that bound crosses
-:data:`OVERFLOW_LIMIT` (a 2× safety margin below ``2**63``), the plan is
-marked exact-only and every call transparently delegates to
+feeds the bounds to the shared dtype-probe ladder
+(:func:`repro.backends.probe.pick_representation`).  If any bound crosses
+:data:`~repro.backends.probe.OVERFLOW_LIMIT`, the plan is marked
+exact-only and every call transparently delegates to
 :class:`~repro.backends.python_backend.PythonBackend`, whose big integers
 cannot overflow.  Weighted queries re-check the bound against the supplied
 item weights.  The equivalence tests assert bit-identical results across
@@ -37,7 +55,6 @@ the two paths either way.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Collection, Iterable, Mapping
 from dataclasses import dataclass, field
 from typing import Any, Hashable
@@ -45,14 +62,13 @@ from typing import Any, Hashable
 from repro.exceptions import MissingSourceError
 from repro.graphs.cgraph import CGraph
 from repro.graphs.validation import validate_filter_set
-from repro.backends.python_backend import PythonBackend
+from repro.backends.probe import OVERFLOW_LIMIT, pick_representation
+from repro.backends.python_backend import PythonBackend, check_tier
 from repro.backends.sampled import SampledEvaluationMixin
 
 Node = Hashable
 
-#: Largest magnitude the int64 fast path will accept (2× margin under 2**63;
-#: the float64 probe's rounding drift is many orders of magnitude smaller).
-OVERFLOW_LIMIT = float(2**62)
+__all__ = ["NumpyBackend", "NumpyGainSession", "numpy_available", "OVERFLOW_LIMIT"]
 
 _NUMPY_AVAILABLE: bool | None = None
 
@@ -152,6 +168,14 @@ class _Plan:
     in_src: Any = None  # intp[m]
     #: ψ-matrix row of the source whose column this is, −1 elsewhere.
     col_to_row: Any = None  # intp[n]
+    #: 1 on source columns, 0 elsewhere — the bitpack tier's per-node
+    #: emission bonus (a designated source emits its own item on top of
+    #: whatever it relays).
+    src_bonus: Any = None  # int64[n]
+    #: Lazily-built packed reachability counts (the bitpack tier's
+    #: per-graph constant): ``nreach[v]`` = number of sources reaching
+    #: ``v``, excluding ``v`` itself.  ``None`` until first needed.
+    nreach: Any = None  # int64[n] | None
     #: max over v of (Σ_s ψ_∅(v)) · W_∅(v) — bounds every gain/score.
     prod_bound: float = 0.0
     #: max over v of Σ_s ψ_∅(v) — bounds every per-node receipt total.
@@ -201,13 +225,16 @@ class NumpyBackend(SampledEvaluationMixin):
 
     name = "numpy"
 
-    def __init__(self) -> None:
+    def __init__(self, *, tier: str = "bitpack") -> None:
         import weakref
 
         import numpy as np
 
+        self.tier = check_tier(tier)
         self._np = np
-        self._exact = PythonBackend()
+        # The exact-fallback backend rides the same tier, so a pinned
+        # lanes backend stays lanes end to end (bench baseline purity).
+        self._exact = PythonBackend(tier=tier)
         # Weak-keyed (CGraph is immutable and identity-hashed): plans die
         # with their graphs instead of pinning discarded graphs alive in
         # the registry's singleton backend.
@@ -308,6 +335,7 @@ class NumpyBackend(SampledEvaluationMixin):
         for row, si in enumerate(source_idx):
             col_to_row[si] = row
         plan.col_to_row = col_to_row
+        plan.src_bonus = (col_to_row >= 0).astype(np.int64)
 
         def group_starts(sorted_keys: Any) -> Any:
             """Segment starts of equal-key runs in an already-sorted array."""
@@ -418,13 +446,12 @@ class NumpyBackend(SampledEvaluationMixin):
         # (gains and simplified-impact scores, since W(v) ≥ dout(v)).
         # Non-finite bounds mean the probe itself overflowed float64 —
         # including the inf·0 = NaN case from a source-unreachable region
-        # with astronomical W — and NaN comparisons are always False, so
-        # they must be treated as overflow explicitly, never compared.
-        plan.exact_only = (
-            not math.isfinite(plan.psi_bound)
-            or not math.isfinite(plan.prod_bound)
-            or max(plan.psi_bound, plan.prod_bound) >= OVERFLOW_LIMIT
-        )
+        # with astronomical W.  The shared ladder treats NaN and inf as
+        # overflow (NaN comparisons are always False, so they must never
+        # be compared directly).
+        plan.exact_only = pick_representation(
+            plan.psi_bound, plan.prod_bound
+        ).exact_only
 
     # ------------------------------------------------------------------
     # Vectorized sweeps
@@ -452,15 +479,33 @@ class NumpyBackend(SampledEvaluationMixin):
         return mask
 
     def _gains_array(self, plan: _Plan, mask: Any) -> Any:
-        """``I(v | A)`` as an int64 array for a prepared boolean mask."""
+        """``I(v | A)`` as an int64 array for a prepared boolean mask.
+
+        The bitpack tier computes ``(T − nreach) · W`` (two 1-D sweeps);
+        the lanes tier sums ``max(ψ_s − 1, 0)`` over the ψ matrix (one
+        row per source).  Bit-identical: ``ψ_s(v) ≥ 1`` exactly when
+        ``s`` reaches ``v``, for every filter set.
+        """
         np = self._np
-        psi = self._psi_matrix(plan, mask)
         w = self._suffix_vector(plan, mask)
-        surplus = psi - 1
-        np.maximum(surplus, 0, out=surplus)
-        gains = surplus.sum(axis=0) * w
+        if self.tier == "bitpack":
+            totals = self._totals_vector(plan, mask)
+            gains = (totals - self._nreach(plan)) * w
+        else:
+            psi = self._psi_matrix(plan, mask)
+            surplus = psi - 1
+            np.maximum(surplus, 0, out=surplus)
+            gains = surplus.sum(axis=0) * w
         gains[mask] = 0
         return gains
+
+    def _impact_scores(self, plan: _Plan, mask: Any) -> Any:
+        """``I'(v) = T(v) · dout(v)`` as an int64 array (tier-dispatched)."""
+        if self.tier == "bitpack":
+            totals = self._totals_vector(plan, mask)
+        else:
+            totals = self._psi_matrix(plan, mask).sum(axis=0)
+        return totals * plan.out_degree
 
     def _psi_matrix(self, plan: _Plan, mask: Any) -> Any:
         """``ψ`` for all sources at once: shape ``(num_sources, n)``."""
@@ -496,6 +541,72 @@ class NumpyBackend(SampledEvaluationMixin):
             contrib = 1 + np.where(mask[lvl.bwd_dst], 0, w[lvl.bwd_dst])
             w[lvl.bwd_uniq_src] += np.add.reduceat(contrib, lvl.bwd_offsets)
         return w
+
+    # ------------------------------------------------------------------
+    # Bit-packed tier: packed reachability + aggregate totals
+    # ------------------------------------------------------------------
+
+    def _nreach(self, plan: _Plan) -> Any:
+        """The (cached) packed reachability counts — int64, shape ``(n,)``."""
+        if plan.nreach is None:
+            plan.nreach = self._build_nreach(plan)
+        return plan.nreach
+
+    def _build_nreach(self, plan: _Plan) -> Any:
+        """One bit-packed sweep: 64 sources per ``uint64`` lane.
+
+        ``B(v) = own(v) | OR_{p ∈ pred(v)} B(p)`` over the level
+        partition, with each level's per-destination OR folded by
+        ``np.bitwise_or.reduceat``; ``nreach(v)`` is then the popcount
+        minus ``v``'s own bit (``ψ_v(v) = 0`` in a DAG).  Bit-identical
+        to :func:`repro.graphs.compiled.packed_reach_counts`, which the
+        python backend sweeps over arbitrary-width ints.
+        """
+        np = self._np
+        lanes = max(1, (len(plan.sources) + 63) // 64)
+        B = np.zeros((lanes, plan.n), dtype=np.uint64)
+        for col in np.flatnonzero(plan.col_to_row >= 0).tolist():
+            row = int(plan.col_to_row[col])
+            B[row >> 6, col] |= np.uint64(1 << (row & 63))
+        for lvl in plan.levels:
+            if not lvl.has_edges:
+                continue
+            B[:, lvl.fwd_uniq_dst] |= np.bitwise_or.reduceat(
+                B[:, lvl.fwd_src_global], lvl.fwd_offsets, axis=1
+            )
+        return self._popcount_columns(B) - plan.src_bonus
+
+    def _popcount_columns(self, packed: Any) -> Any:
+        """Per-column popcount totals of a ``(lanes, n)`` uint64 array."""
+        np = self._np
+        if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+            return np.bitwise_count(packed).sum(axis=0, dtype=np.int64)
+        bits = np.unpackbits(packed.view(np.uint8), axis=1)
+        return bits.reshape(packed.shape[0], -1, 64).sum(
+            axis=(0, 2), dtype=np.int64
+        )
+
+    def _totals_vector(self, plan: _Plan, mask: Any) -> Any:
+        """Aggregate totals ``T(v) = Σ_s ψ_s(v)`` in one 1-D sweep.
+
+        Per level, each edge ``(u, v)`` carries the emission
+        ``E(u) = (nreach(u) if u ∈ A else T(u)) + [u is a source]`` —
+        a filter forwards exactly one copy per item it receives (and
+        its own item when it is also a source), so its emission is the
+        per-graph constant ``nreach + bonus``.  Source-count-independent:
+        the same two sweeps whether the graph has 1 source or 10 000.
+        """
+        np = self._np
+        totals = np.zeros(plan.n, dtype=np.int64)
+        nreach = self._nreach(plan)
+        bonus = plan.src_bonus
+        for lvl in plan.levels:
+            if not lvl.has_edges:
+                continue
+            src = lvl.fwd_src_global
+            emit = np.where(mask[src], nreach[src], totals[src]) + bonus[src]
+            totals[lvl.fwd_uniq_dst] += np.add.reduceat(emit, lvl.fwd_offsets)
+        return totals
 
     # ------------------------------------------------------------------
     # PropagationBackend interface
@@ -555,9 +666,16 @@ class NumpyBackend(SampledEvaluationMixin):
             return self._exact.node_receipts(
                 graph, filters, items_per_source=items_per_source
             )
-        psi = self._psi_matrix(plan, self._filter_mask(plan, filters))
-        wvec = np.array(weights, dtype=np.int64)
-        totals = (psi * wvec[:, None]).sum(axis=0)
+        mask = self._filter_mask(plan, filters)
+        if self.tier == "bitpack" and not isinstance(items_per_source, Mapping):
+            # Uniform weights scale the aggregate totals directly — one
+            # T sweep instead of one ψ row per source.  Per-source
+            # mappings weight individual lanes and keep the ψ matrix.
+            totals = self._totals_vector(plan, mask) * max(items_per_source, 0)
+        else:
+            psi = self._psi_matrix(plan, mask)
+            wvec = np.array(weights, dtype=np.int64)
+            totals = (psi * wvec[:, None]).sum(axis=0)
         return dict(zip(plan.node_list, totals.tolist()))
 
     def total_receipts(
@@ -615,8 +733,7 @@ class NumpyBackend(SampledEvaluationMixin):
         plan = self.plan_for(graph)
         if plan.exact_only:
             return self._exact.simplified_impacts(graph, filter_set)
-        psi = self._psi_matrix(plan, self._filter_mask(plan, filter_set))
-        scores = psi.sum(axis=0) * plan.out_degree
+        scores = self._impact_scores(plan, self._filter_mask(plan, filter_set))
         return dict(zip(plan.node_list, scores.tolist()))
 
     def simplified_impacts_ids(
@@ -628,8 +745,7 @@ class NumpyBackend(SampledEvaluationMixin):
         plan = self.plan_for(graph)
         if plan.exact_only:
             return self._exact.simplified_impacts_ids(graph, filter_ids)
-        psi = self._psi_matrix(plan, self._mask_from_ids(plan, filter_ids))
-        scores = psi.sum(axis=0) * plan.out_degree
+        scores = self._impact_scores(plan, self._mask_from_ids(plan, filter_ids))
         return scores.tolist()
 
     # ------------------------------------------------------------------
@@ -693,16 +809,14 @@ class NumpyBackend(SampledEvaluationMixin):
         # comfortably fits; int64 otherwise.
         bound = max(plan.psi_bound, plan.prod_bound)
         levelsum = max(plan.fwd_levelsum_bound, plan.bwd_levelsum_bound)
-        exact_only = (
-            plan.exact_only
-            or not math.isfinite(bound)
-            or not math.isfinite(levelsum)
-            or trials * bound >= OVERFLOW_LIMIT
-            or levelsum >= OVERFLOW_LIMIT
-        )
+        # Same ladder as the deterministic plan, with the cross-world
+        # sum (trials · bound) as the extra rung to clear; inf and NaN
+        # (a saturated probe) land on "exact" like any other overflow.
+        verdict = pick_representation(trials * bound, levelsum)
+        exact_only = plan.exact_only or verdict.exact_only
         dtype = (
             np.int32
-            if max(levelsum, plan.psi_bound) < float(2**30)
+            if pick_representation(levelsum, plan.psi_bound).narrow
             else np.int64
         )
         # Pre-gather each level's live columns once (both groupings),
@@ -919,8 +1033,15 @@ class NumpyBackend(SampledEvaluationMixin):
     # reporting boundary over this backend's batched sampled sweeps.
 
     def warm(self, graph: CGraph) -> None:
-        """Adapt (and cache) the shared compiled plan outside timed regions."""
-        self.plan_for(graph)
+        """Adapt (and cache) the shared compiled plan outside timed regions.
+
+        On the bitpack tier this also runs the packed reachability sweep
+        (the tier's only other per-graph preprocessing), so timed solve
+        regions never pay for it.
+        """
+        plan = self.plan_for(graph)
+        if self.tier == "bitpack" and not plan.exact_only:
+            self._nreach(plan)
 
 
 class NumpyGainSession:

@@ -2,10 +2,19 @@
 
 Thin adapter over the sweep implementations in
 :mod:`repro.propagation.engine`, :mod:`repro.core.impact` and
-:mod:`repro.core.greedy_l` — per-source index loops over the compiled
-view's cached topological order (flat lists, interned ids), with native
-big integers, so results are exact no matter how explosively path counts
-grow.
+:mod:`repro.core.greedy_l` — index loops over the compiled view's cached
+topological order (flat lists, interned ids), with native big integers,
+so results are exact no matter how explosively path counts grow.
+
+Two sweep **tiers**, chosen at construction and bit-identical by
+contract (the differential fuzz harness holds them to it):
+
+* ``bitpack`` (default) — the aggregate formulation: one bit-packed
+  reachability sweep per graph (cached), then two sweeps per evaluation
+  (``T`` + ``W``) regardless of the source count.
+* ``lanes`` — the historical per-source formulation: one ``ψ`` sweep per
+  source per evaluation.  Kept as the differential reference and as the
+  bench baseline the ``bitpack_speedup`` comparator measures against.
 
 This backend is the semantic reference: every other backend must agree
 with it bit-for-bit, and the fast backends delegate to it whenever their
@@ -18,6 +27,7 @@ from collections.abc import Collection, Iterable, Mapping
 from typing import TYPE_CHECKING, Hashable
 
 from repro.backends.sampled import SampledEvaluationMixin
+from repro.exceptions import MissingSourceError, ParameterError
 from repro.graphs.cgraph import CGraph
 from repro.graphs.validation import validate_filter_set
 
@@ -26,9 +36,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 Node = Hashable
 
+#: The sweep tiers a backend can be pinned to.
+TIERS: tuple[str, ...] = ("bitpack", "lanes")
+
+
+def check_tier(tier: str) -> str:
+    """Validate a sweep-tier name (shared by both backends)."""
+    if tier not in TIERS:
+        known = ", ".join(TIERS)
+        raise ParameterError(f"unknown tier {tier!r}; known tiers: {known}")
+    return tier
+
 
 class PythonBackend(SampledEvaluationMixin):
-    """Exact big-int propagation (the seed implementation, unchanged).
+    """Exact big-int propagation (the semantic reference).
 
     Filter sets are validated here (not in the exact sweeps, which other
     backends reuse for their fallback paths) so every backend rejects
@@ -36,6 +57,9 @@ class PythonBackend(SampledEvaluationMixin):
     """
 
     name = "python"
+
+    def __init__(self, *, tier: str = "bitpack") -> None:
+        self.tier = check_tier(tier)
 
     def node_receipts(
         self,
@@ -48,6 +72,29 @@ class PythonBackend(SampledEvaluationMixin):
         from repro.propagation.engine import node_receipts_exact
 
         validate_filter_set(graph, set(filters))
+        if self.tier == "bitpack" and not isinstance(
+            items_per_source, Mapping
+        ):
+            # Uniform weights scale the aggregate totals directly:
+            # one T sweep instead of one ψ sweep per source.  Per-source
+            # mappings weight individual lanes and keep the lanes path.
+            from repro.propagation.engine import (
+                aggregate_receipts_ids,
+                loose_filter_mask,
+            )
+
+            if not graph.sources:
+                raise MissingSourceError("graph has no sources")
+            weight = items_per_source
+            compiled = graph.compiled()
+            totals = aggregate_receipts_ids(
+                compiled, loose_filter_mask(compiled, filters)
+            )
+            if weight <= 0:
+                return dict.fromkeys(compiled.nodes, 0)
+            return dict(
+                zip(compiled.nodes, (weight * t for t in totals))
+            )
         return node_receipts_exact(
             graph, filters, items_per_source=items_per_source
         )
@@ -72,9 +119,14 @@ class PythonBackend(SampledEvaluationMixin):
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
         """``I(v | A) = max(ψ(v) − 1, 0) · W(v)`` summed over sources."""
-        from repro.core.impact import marginal_gains_exact
-
-        return marginal_gains_exact(graph, filters)
+        filter_set = set(filters)
+        validate_filter_set(graph, filter_set)
+        compiled = graph.compiled()
+        gains = self.marginal_gains_ids(graph, compiled.to_ids(filter_set))
+        # Keyed in graph.nodes() order — the cross-backend canonical
+        # order, so serialized results match the numpy backend's byte
+        # for byte.
+        return dict(zip(compiled.nodes, gains))
 
     def marginal_gains_ids(
         self,
@@ -82,8 +134,13 @@ class PythonBackend(SampledEvaluationMixin):
         filter_ids: Iterable[int] = (),
     ) -> list[int]:
         """``I(v | A)`` as a flat list over interned ids — index sweeps."""
-        from repro.core.impact import marginal_gains_ids_exact
+        from repro.core.impact import (
+            marginal_gains_ids_exact,
+            marginal_gains_ids_lanes_exact,
+        )
 
+        if self.tier == "lanes":
+            return marginal_gains_ids_lanes_exact(graph, filter_ids)
         return marginal_gains_ids_exact(graph, filter_ids)
 
     def simplified_impacts(
@@ -92,11 +149,13 @@ class PythonBackend(SampledEvaluationMixin):
         filters: Collection[Node] = (),
     ) -> dict[Node, int]:
         """``Greedy_L``'s ``I'(v) = Prefix(v) × dout(v)`` under ``A``."""
-        from repro.core.greedy_l import simplified_impacts_exact
-
         filter_set = set(filters)
         validate_filter_set(graph, filter_set)
-        return simplified_impacts_exact(graph, filter_set)
+        compiled = graph.compiled()
+        scores = self.simplified_impacts_ids(
+            graph, compiled.to_ids(filter_set)
+        )
+        return dict(zip(compiled.nodes, scores))
 
     def simplified_impacts_ids(
         self,
@@ -104,8 +163,13 @@ class PythonBackend(SampledEvaluationMixin):
         filter_ids: Iterable[int] = (),
     ) -> list[int]:
         """``I'(v)`` as a flat list over interned ids — index sweeps."""
-        from repro.core.greedy_l import simplified_impacts_ids_exact
+        from repro.core.greedy_l import (
+            simplified_impacts_ids_exact,
+            simplified_impacts_ids_lanes_exact,
+        )
 
+        if self.tier == "lanes":
+            return simplified_impacts_ids_lanes_exact(graph, filter_ids)
         return simplified_impacts_ids_exact(graph, filter_ids)
 
     def gain_session(
@@ -115,19 +179,27 @@ class PythonBackend(SampledEvaluationMixin):
     ):
         """Open an exact incremental :class:`GainSession`.
 
-        Construction runs one full sweep (``W`` plus ``ψ`` per source);
-        each subsequent ``add_filter`` re-settles only the affected DAG
-        region with big-int arithmetic.
+        Construction runs one full sweep; each subsequent ``add_filter``
+        re-settles only the affected DAG region with big-int arithmetic.
+        The bitpack tier's session rides one aggregate wavefront, the
+        lanes tier's one wavefront per perturbed source lane.
         """
-        from repro.backends.incremental import ExactGainSession
+        from repro.backends.incremental import (
+            ExactGainSession,
+            ExactLaneGainSession,
+        )
 
+        if self.tier == "lanes":
+            return ExactLaneGainSession(graph, filters)
         return ExactGainSession(graph, filters)
 
     # -- propagation-model axis -----------------------------------------
     # The per-trial reference implementations: one exact sweep per world
     # over the pruned adjacency of :mod:`repro.propagation.sampling`.
     # Every fast backend must agree bit-for-bit (and falls back here when
-    # its representable range is at risk).
+    # its representable range is at risk).  World evaluation shards
+    # across a process pool when repro.propagation.parallel is armed
+    # (``--workers``); the reduce is bit-identical to serial.
 
     def sampled_marginal_gains_ids(
         self,
@@ -144,7 +216,7 @@ class PythonBackend(SampledEvaluationMixin):
         )
 
         return sampled_marginal_gains_ids_exact(
-            graph, filter_ids, model=model
+            graph, filter_ids, model=model, tier=self.tier
         )
 
     def sampled_simplified_impacts_ids(
@@ -162,7 +234,7 @@ class PythonBackend(SampledEvaluationMixin):
         )
 
         return sampled_simplified_impacts_ids_exact(
-            graph, filter_ids, model=model
+            graph, filter_ids, model=model, tier=self.tier
         )
 
     def sampled_total_receipts(
@@ -177,17 +249,23 @@ class PythonBackend(SampledEvaluationMixin):
             return self.total_receipts(graph, filters)
         from repro.propagation.sampling import sampled_total_receipts_exact
 
-        return sampled_total_receipts_exact(graph, filters, model=model)
+        return sampled_total_receipts_exact(
+            graph, filters, model=model, tier=self.tier
+        )
 
     # expected_total_receipts / expected_marginal_gains /
     # sampled_gain_session come from SampledEvaluationMixin — one shared
     # reporting boundary over this backend's per-trial exact sweeps.
 
     def warm(self, graph: CGraph) -> None:
-        """Build (and cache) the shared compiled view.
+        """Build (and cache) the shared compiled view and, on the
+        bitpack tier, the packed reachability tables.
 
-        The exact sweeps' only per-graph preprocessing — the same
-        :class:`~repro.graphs.compiled.CompiledGraph` every other layer
-        shares.
+        Reachability is the bitpack tier's only per-graph preprocessing
+        beyond the :class:`~repro.graphs.compiled.CompiledGraph` every
+        other layer shares; warming it here keeps it out of the timed
+        solve regions (bench) and request paths (service).
         """
-        graph.compiled()
+        compiled = graph.compiled()
+        if self.tier == "bitpack" and compiled.is_dag:
+            compiled.reach_counts()

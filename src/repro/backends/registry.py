@@ -70,6 +70,29 @@ def get_backend(name: str) -> PropagationBackend:
     return instance
 
 
+def build_backend(name: str, *, tier: str = "bitpack") -> PropagationBackend:
+    """A fresh backend instance pinned to a sweep tier.
+
+    Unlike :func:`get_backend` this never touches the singleton table —
+    the registry's shared instances stay on the default tier, while
+    tier-pinned callers (the bench's ``/tier-lanes`` cells, the fuzz
+    harness's differential pairs) get their own instance.
+    """
+    if name == "auto":
+        name = "numpy" if numpy_available() else "python"
+    if name == "numpy":
+        if not numpy_available():
+            raise ParameterError(
+                "backend 'numpy' requested but numpy is not installed; "
+                "use backend 'python' (or 'auto')"
+            )
+        return NumpyBackend(tier=tier)
+    if name == "python":
+        return PythonBackend(tier=tier)
+    known = ", ".join(BACKEND_NAMES)
+    raise ParameterError(f"unknown backend {name!r}; known backends: {known}")
+
+
 def resolve_backend(
     spec: str | PropagationBackend | None,
 ) -> PropagationBackend:

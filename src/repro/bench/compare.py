@@ -262,6 +262,44 @@ def mc_speedup(
     return speedups
 
 
+def bitpack_speedup(
+    records_or_rows: Sequence[Any],
+) -> dict[str, float]:
+    """Per-cell sweep-tier speedup: per-source lanes vs bit-packed sweeps.
+
+    Matches the ``…/tier-lanes`` cells produced by the ``bitpack`` suite
+    against their default-tier twins (identical key with the suffix
+    removed) and divides their wall-clock seconds:
+    ``lanes_seconds / bitpack_seconds`` — how many times faster the
+    aggregated bit-packed formulation evaluates the same many-source
+    cell than one exact sweep per source.  The acceptance bar is ≥ 10
+    on the largest deterministic cells of the committed ``BENCH.json``;
+    CI's bench-smoke asserts > 1 on the toy cell.
+
+    Accepts :class:`~repro.bench.results.BenchRecord` objects or raw
+    ``results`` rows; returns ``{bitpack-cell-key: ratio}``.
+    """
+    rows = [
+        r.to_json_dict() if hasattr(r, "to_json_dict") else r
+        for r in records_or_rows
+    ]
+    seconds = {row["key"]: float(row["seconds"]) for row in rows}
+    ratios: dict[str, float] = {}
+    for key, lanes_seconds in seconds.items():
+        if "/tier-lanes" not in key:
+            continue
+        fast_key = key.replace("/tier-lanes", "")
+        fast_seconds = seconds.get(fast_key)
+        if fast_seconds is None:
+            continue
+        ratios[fast_key] = (
+            float("inf")
+            if fast_seconds == 0
+            else lanes_seconds / fast_seconds
+        )
+    return ratios
+
+
 def summarize_speedups(
     records_or_rows: Sequence[Any],
     *,

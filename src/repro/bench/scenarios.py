@@ -43,6 +43,18 @@ Built-in suites
     worlds.  The python/numpy cell pairs feed
     :func:`repro.bench.compare.mc_speedup`, whose acceptance bar is a
     ≥10× batched-vs-per-trial ratio at n≈2000.
+``bitpack``
+    The sweep-tier axis: the same many-source ``G_All`` cell on the
+    ``bitpack`` (aggregated, source-count-independent) and ``lanes``
+    (one sweep per source) tiers of each backend, with the first
+    :data:`BITPACK_SOURCES` nodes re-designated as sources.  The
+    bitpack/lanes pairs feed :func:`repro.bench.compare.bitpack_speedup`
+    (acceptance bar: ≥10× on the largest deterministic cells).
+``parallel``
+    The world-shard axis: the probabilistic n≈2000 cell with the
+    evaluation pinned to 1 vs 4 process-pool workers.  Placements are
+    bit-identical by contract (``tests/test_parallel_worlds.py``); the
+    cells track what the wall-clock does.
 """
 
 from __future__ import annotations
@@ -92,31 +104,54 @@ class BenchScenario:
     model: str = "deterministic"
     edge_prob: float = 1.0
     trials: int = 0
+    #: Re-designate the first N nodes as sources (0 = the dataset's own
+    #: sources).  The bitpack cells use this: the real datasets carry a
+    #: single source, which is exactly the regime where the per-source
+    #: lanes tier is cheapest and the aggregated tier has nothing to win.
+    sources: int = 0
+    #: Deterministic sweep tier of the cell's backend (``bitpack`` |
+    #: ``lanes``).  ``bitpack`` is every backend's default; ``lanes``
+    #: cells pin the historical per-source formulation as the baseline
+    #: the ``bitpack_speedup`` comparator divides against.
+    tier: str = "bitpack"
+    #: World-shard worker count for probabilistic cells (0 = inherit the
+    #: ambient :func:`repro.propagation.parallel.active_workers` value;
+    #: >0 pins the cell, 1 meaning explicitly serial).
+    workers: int = 0
 
     def key(self) -> str:
         """``dataset@scale/seedN/algorithm/kK/backend[/…]``.
 
         ``compile`` cells use ``compile`` on the algorithm axis (with
-        ``k=0``), so their keys need no extra suffix.  Probabilistic
-        cells append ``/model-pP-tT``; deterministic keys are unchanged
-        so prior ``BENCH.json`` baselines keep matching.
+        ``k=0``), so their keys need no extra suffix.  Non-default axes
+        append suffixes — ``/srcN`` (re-designated sources),
+        ``/tier-lanes`` (pinned lanes tier), ``/model-pP-tT``
+        (probabilistic model), ``/wN`` (pinned world workers) — while
+        default-valued axes add nothing, so prior ``BENCH.json``
+        baselines keep matching.
         """
         scale = "default" if self.scale is None else f"{self.scale:g}"
         base = (
             f"{self.dataset}@{scale}/seed{self.seed}"
             f"/{self.algorithm}/k{self.k}/{self.backend}"
         )
+        if self.sources:
+            base += f"/src{self.sources}"
+        if self.tier != "bitpack":
+            base += f"/tier-{self.tier}"
         if self.model != "deterministic":
             base += f"/{self.model}-p{self.edge_prob:g}-t{self.trials}"
+        if self.workers:
+            base += f"/w{self.workers}"
         if self.mode == "service_cold":
             return f"{base}/cold"
         if self.mode == "service_hit":
             return f"{base}/hit"
         return base
 
-    def graph_key(self) -> tuple[str, float | None, int]:
+    def graph_key(self) -> tuple[str, float | None, int, int]:
         """Cache key for the generated graph (shared across cells)."""
-        return (self.dataset, self.scale, self.seed)
+        return (self.dataset, self.scale, self.seed, self.sources)
 
 
 def _cross(
@@ -187,6 +222,16 @@ def default_suite(
     scenarios.extend(
         _probabilistic_cells([("quote", 2.2)], backends, seed)
     )
+    # Sweep-tier cells: bitpack vs lanes on the many-source matrix —
+    # the ≥10× :func:`repro.bench.compare.bitpack_speedup` gate cells.
+    scenarios.extend(
+        _bitpack_cells(
+            [("synthetic-sparse", 2.0), ("citation", 1.0)], backends, seed
+        )
+    )
+    # World-shard cells: the probabilistic python cell pinned to 1 vs 4
+    # pool workers (bit-identical placements, tracked wall-clock).
+    scenarios.extend(_parallel_cells([("quote", 2.2)], seed))
     return scenarios
 
 
@@ -282,6 +327,102 @@ def probabilistic_suite(
         seed,
         algorithms=("G_All", "G_All_lazy"),
     )
+
+
+#: Sources re-designated by the ``bitpack`` suite cells.  The paper
+#: datasets carry one source each — the degenerate best case for the
+#: per-source lanes tier — so the tier cells widen the source axis to a
+#: multi-lane width (256 sources = 4 uint64 lanes) where the aggregated
+#: formulation's source-count independence actually shows.
+BITPACK_SOURCES = 256
+
+#: Worker counts the ``parallel`` suite pins its cells to.
+PARALLEL_WORKERS: tuple[int, ...] = (1, 4)
+
+
+def _bitpack_cells(
+    cells: Sequence[tuple[str, float | None]],
+    backends: Sequence[str],
+    seed: int,
+    *,
+    sources: int = BITPACK_SOURCES,
+) -> list[BenchScenario]:
+    return [
+        BenchScenario(
+            dataset=dataset,
+            algorithm="G_All",
+            k=10,
+            backend=backend,
+            scale=scale,
+            seed=seed,
+            sources=sources,
+            tier=tier,
+        )
+        for dataset, scale in cells
+        for backend in backends
+        for tier in ("bitpack", "lanes")
+    ]
+
+
+def _parallel_cells(
+    cells: Sequence[tuple[str, float | None]],
+    seed: int,
+) -> list[BenchScenario]:
+    return [
+        BenchScenario(
+            dataset=dataset,
+            algorithm="G_All",
+            k=10,
+            backend="python",
+            scale=scale,
+            seed=seed,
+            model="live-edge",
+            edge_prob=PROBABILISTIC_EDGE_PROB,
+            trials=PROBABILISTIC_TRIALS,
+            workers=workers,
+        )
+        for dataset, scale in cells
+        for workers in PARALLEL_WORKERS
+    ]
+
+
+def bitpack_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The sweep-tier axis: bitpack vs lanes on many-source cells.
+
+    Each (dataset, backend) pair appears twice — once on the default
+    ``bitpack`` tier and once pinned to ``lanes`` (key suffix
+    ``/tier-lanes``) — with :data:`BITPACK_SOURCES` nodes re-designated
+    as sources.  ``fig10`` is the toy cell CI's bench-smoke asserts on;
+    the paper-scale cells carry the ≥10×
+    :func:`repro.bench.compare.bitpack_speedup` acceptance bar.
+    """
+    backends = _resolve_backends(backends)
+    return _bitpack_cells(
+        [
+            ("fig10", None),
+            ("synthetic-sparse", 2.0),
+            ("citation", 1.0),
+        ],
+        backends,
+        seed,
+    )
+
+
+def parallel_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The world-shard axis: serial vs process-pool sampled evaluation.
+
+    The per-trial python loop on the probabilistic n≈2000 cell, pinned
+    to each worker count in :data:`PARALLEL_WORKERS`.  The determinism
+    contract (bit-identical placements/objectives for every worker
+    count) is enforced by ``tests/test_parallel_worlds.py``; these cells
+    track the wall-clock of the same evaluation.
+    """
+    del backends  # the shard axis is a python-loop property
+    return _parallel_cells([("quote", 2.2)], seed)
 
 
 def apply_model(
@@ -407,6 +548,8 @@ _SUITES = {
     "service": service_suite,
     "compile": compile_suite,
     "probabilistic": probabilistic_suite,
+    "bitpack": bitpack_suite,
+    "parallel": parallel_suite,
 }
 
 #: Every built-in suite name, in presentation order.

@@ -90,6 +90,7 @@ def run_service_scenario(
         }
 
         best = float("inf")
+        total = 0.0
         payload = None
         if scenario.mode == "service_cold":
             for _ in range(repeats):
@@ -99,6 +100,7 @@ def run_service_scenario(
                 elapsed = time.perf_counter() - start
                 _check_response(status, doc)
                 payload = doc["result"]
+                total += elapsed
                 best = min(best, elapsed)
             requests = repeats
         else:
@@ -110,11 +112,17 @@ def run_service_scenario(
                 elapsed = time.perf_counter() - start
                 _check_response(status, doc, expect_hit=True)
                 payload = doc["result"]
+                total += elapsed
                 best = min(best, elapsed)
     finally:
         app.close()
     assert payload is not None  # repeats >= 1
 
+    # Cache swaps and response checks between requests are untimed, so
+    # the cell's wall-clock is the sum of the timed requests only.
+    phases = {"solve": best}
+    if total > best:
+        phases["repeat_overhead"] = total - best
     return BenchRecord(
         scenario=scenario,
         nodes=graph.number_of_nodes(),
@@ -122,6 +130,8 @@ def run_service_scenario(
         seconds=best,
         repeats=repeats,
         plan_seconds=compile_seconds or 0.0,
+        phases=phases,
+        wall_seconds=total,
         evaluations={"requests": requests},
         filters=tuple(payload["filters"]),
         filters_found=payload["filters_found"],

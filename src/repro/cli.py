@@ -359,6 +359,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         cache_bytes=args.cache_bytes,
         max_graphs=args.max_graphs,
+        world_workers=args.world_workers,
     )
     for spec in args.preload:
         entry, _ = app.store.register_dataset(spec)
@@ -463,7 +464,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             edge_prob=args.edge_prob,
             trials=args.trials,
         )
-    with _observed(args):
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    # --workers scopes an ambient world-shard pool over the whole run;
+    # cells that pin their own worker count (the parallel suite) rebind
+    # the scope per-cell inside the harness and therefore win.
+    from repro.propagation.parallel import use_world_workers
+
+    with _observed(args), use_world_workers(args.workers):
         records = run_suite(
             scenarios,
             repeats=args.repeats,
@@ -473,7 +482,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_records(records))
     doc = build_document(
         records,
-        meta={"suite": args.suite, "repeats": args.repeats, "seed": args.seed},
+        meta={
+            "suite": args.suite,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "workers": args.workers,
+        },
     )
     report = None
     if prior is not None:
@@ -611,6 +625,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=1)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="world-shard process-pool workers for probabilistic cells "
+        "(1 = serial; cells that pin their own worker count win)",
+    )
+    bench.add_argument(
         "--backends",
         nargs="+",
         choices=("python", "numpy"),
@@ -638,6 +659,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=4, help="placement worker pool size"
+    )
+    serve.add_argument(
+        "--world-workers",
+        type=int,
+        default=1,
+        help="process-pool workers sharding Monte-Carlo worlds inside "
+        "each placement job (1 = serial evaluation)",
     )
     serve.add_argument(
         "--pool",

@@ -63,7 +63,22 @@ def simplified_impacts_ids(
 
 
 def _scores_for_mask(compiled, mask: bytearray) -> list[int]:
-    """``I'`` as a list over interned ids for a prepared filter mask."""
+    """``I'`` over ids via one aggregate ``T`` sweep (the bitpack tier).
+
+    ``I'(v) = Prefix(v) × dout(v)`` sums one item per source, so the
+    per-source prefixes collapse to the aggregate totals ``T(v)`` from
+    :func:`~repro.propagation.engine.aggregate_receipts_ids` —
+    source-count-independent, bit-identical to the lanes sweep.
+    """
+    from repro.propagation.engine import aggregate_receipts_ids
+
+    totals = aggregate_receipts_ids(compiled, mask)
+    out_degree = compiled.out_degree
+    return [totals[v] * out_degree[v] for v in range(compiled.n)]
+
+
+def _scores_for_mask_lanes(compiled, mask: bytearray) -> list[int]:
+    """``I'`` over ids via one ``ψ`` sweep per source (the lanes tier)."""
     totals = [0] * compiled.n
     for origin_id in compiled.source_ids:
         psi = item_receipts_ids(compiled, origin_id, mask)
@@ -78,10 +93,20 @@ def simplified_impacts_ids_exact(
     graph: CGraph,
     filter_ids: Iterable[int] = (),
 ) -> list[int]:
-    """:func:`simplified_impacts_ids` via the exact big-int index sweeps
-    (the ``python`` backend's implementation)."""
+    """:func:`simplified_impacts_ids` via the exact aggregate sweep (the
+    ``python`` backend's default *bitpack* tier)."""
     compiled = graph.compiled()
     return _scores_for_mask(compiled, compiled.filter_mask(filter_ids))
+
+
+def simplified_impacts_ids_lanes_exact(
+    graph: CGraph,
+    filter_ids: Iterable[int] = (),
+) -> list[int]:
+    """:func:`simplified_impacts_ids` via one exact big-int ``ψ`` sweep
+    per source (the *lanes* tier; the fuzz harness's reference)."""
+    compiled = graph.compiled()
+    return _scores_for_mask_lanes(compiled, compiled.filter_mask(filter_ids))
 
 
 def simplified_impacts_exact(

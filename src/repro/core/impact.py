@@ -165,8 +165,49 @@ def marginal_gains_ids_exact(
     graph: CGraph,
     filter_ids: Iterable[int] = (),
 ) -> list[int]:
-    """:func:`marginal_gains_ids` via the exact big-int index sweeps (the
-    ``python`` backend's implementation).
+    """:func:`marginal_gains_ids` via the exact bit-packed aggregate
+    sweeps (the ``python`` backend's default *bitpack* tier).
+
+    The per-source decomposition ``I(v | A) = Σ_s max(ψ_s(v) − 1, 0) ·
+    W(v)`` collapses: the max only trims sources that never reach ``v``,
+    so the sum is ``(T(v) − nreach(v)) · W(v)`` with ``T`` from one
+    aggregate sweep (:func:`~repro.propagation.engine.
+    aggregate_receipts_ids`) and ``nreach`` a cached per-graph constant
+    (:func:`~repro.graphs.compiled.packed_reach_counts`).
+
+    Cost: one ``W`` pass plus one ``T`` pass — independent of the source
+    count, versus the lanes tier's ``S + 1`` sweeps.  Results are
+    bit-identical to :func:`marginal_gains_ids_lanes_exact` (the fuzz
+    harness holds the two to that).
+    """
+    from repro.propagation.engine import aggregate_receipts_ids
+
+    if not graph.sources:
+        raise MissingSourceError("graph has no sources")
+    compiled = graph.compiled()
+    mask = compiled.filter_mask(filter_ids)
+    w = absorbing_suffix_ids(compiled, mask)
+    nreach = compiled.reach_counts()
+    totals = aggregate_receipts_ids(compiled, mask, nreach)
+    gains = [0] * compiled.n
+    for v in range(compiled.n):
+        if mask[v]:
+            continue
+        excess = totals[v] - nreach[v]
+        if excess:
+            wv = w[v]
+            if wv:
+                gains[v] = excess * wv
+    return gains
+
+
+def marginal_gains_ids_lanes_exact(
+    graph: CGraph,
+    filter_ids: Iterable[int] = (),
+) -> list[int]:
+    """:func:`marginal_gains_ids` via one exact big-int ``ψ`` sweep per
+    source (the ``python`` backend's *lanes* tier, and the differential
+    reference the bitpack tier is fuzzed against).
 
     Cost: one ``W`` pass plus one ``ψ`` pass per source.
     """

@@ -136,6 +136,9 @@ class CompiledGraph:
         "_level_offsets",
         "_in_pos_of_out",
         "_edge_prob_cache",
+        "_source_mark",
+        "_reach_masks",
+        "_reach_counts",
     )
 
     def __init__(self, graph: "CGraph") -> None:
@@ -184,6 +187,9 @@ class CompiledGraph:
         self.in_degree = in_degree
         self._in_pos_of_out = None
         self._edge_prob_cache = None
+        self._source_mark = None
+        self._reach_masks = None
+        self._reach_counts = None
         self.source_ids = tuple(sorted(index[s] for s in graph.sources))
         self.sink_ids = tuple(i for i in range(n) if not out_degree[i])
         self.merge_ids = tuple(
@@ -320,6 +326,52 @@ class CompiledGraph:
         return mask
 
     # ------------------------------------------------------------------
+    # Bit-packed source reachability (the aggregate-sweep substrate)
+    # ------------------------------------------------------------------
+
+    def source_mark(self) -> bytearray:
+        """A dense 0/1 mask over ids marking the designated sources.
+
+        Cached: the aggregate sweeps read it per node per evaluation
+        (the ``bonus`` term of the totals recurrence), so a bytearray
+        index beats a set probe on the hot path.
+        """
+        if self._source_mark is None:
+            mark = bytearray(self.n)
+            for s in self.source_ids:
+                mark[s] = 1
+            self._source_mark = mark
+        return self._source_mark
+
+    def reach_masks(self) -> list[int]:
+        """Per-node source-reachability bitsets (cached; DAG-only).
+
+        See :func:`packed_reach_masks` for the lane layout.  Cached on
+        the compiled graph because reachability is filter-independent:
+        every deterministic aggregate evaluation on this graph reuses
+        the same masks regardless of the filter set.
+        """
+        if self._reach_masks is None:
+            self._reach_masks = packed_reach_masks(self)
+        return self._reach_masks
+
+    def reach_counts(self) -> list[int]:
+        """``nreach[v]``: sources with a ≥1-edge path to ``v`` (cached).
+
+        Exactly ``#{s : ψ_s(v) > 0}``: reachability is independent of
+        the filter set (a filter always forwards at least one copy of
+        anything it receives), so this is a per-graph constant the
+        aggregate gain formulas consume.
+        """
+        if self._reach_counts is None:
+            mark = self.source_mark()
+            self._reach_counts = [
+                m.bit_count() - mark[v]
+                for v, m in enumerate(self.reach_masks())
+            ]
+        return self._reach_counts
+
+    # ------------------------------------------------------------------
     # Edge probabilities (the probabilistic-model substrate)
     # ------------------------------------------------------------------
 
@@ -451,6 +503,13 @@ class CompiledGraph:
         total += sum(sys.getsizeof(t) for t in self.pred_ids)
         if self._in_pos_of_out is not None:
             total += sys.getsizeof(self._in_pos_of_out)
+        if self._source_mark is not None:
+            total += sys.getsizeof(self._source_mark)
+        if self._reach_masks is not None:
+            total += sys.getsizeof(self._reach_masks)
+            total += sum(sys.getsizeof(m) for m in self._reach_masks)
+        if self._reach_counts is not None:
+            total += sys.getsizeof(self._reach_counts)
         if self._edge_prob_cache:
             total += sum(
                 probs.nbytes() for probs in self._edge_prob_cache.values()
@@ -472,3 +531,60 @@ class CompiledGraph:
             f"CompiledGraph(n={self.n}, m={self.m}, "
             f"sources={len(self.source_ids)}, dag={self.is_dag})"
         )
+
+
+def packed_reach_masks(
+    compiled: CompiledGraph,
+    pred: "Sequence[Sequence[int]] | None" = None,
+) -> list[int]:
+    """One bit-packed sweep: which sources reach each node?
+
+    Lane layout: bit ``j`` of ``masks[v]`` is set iff source
+    ``source_ids[j]`` (ascending id order) either *is* ``v`` or has a
+    path of ≥1 edge to ``v``.  The masks are plain Python ints — an
+    unbounded bitset, so any source count works and the sweep stays
+    dependency-free; 64-source graphs fit one machine word and the OR
+    per edge is a single uint64 operation under the hood.
+
+    The recurrence is ``B(v) = own(v) | OR_{p ∈ pred(v)} B(p)`` over the
+    topological order, where ``own(v)`` holds ``v``'s own lane bit.  In
+    a DAG a source never reaches itself, so the own bit re-entering
+    through a parent is impossible and ``popcount(B(v))`` decomposes as
+    ``nreach(v) + [v is a source]`` exactly.
+
+    ``pred`` overrides the predecessor lists (the Monte-Carlo samplers
+    pass a live-edge world's pruned adjacency); the default is the
+    graph's full ``pred_ids``.  Duplicate parents (multi-edges) are
+    harmless: OR is idempotent.
+    """
+    if pred is None:
+        pred = compiled.pred_ids
+    own = [0] * compiled.n
+    for j, s in enumerate(compiled.source_ids):
+        own[s] = 1 << j
+    masks = [0] * compiled.n
+    for v in compiled.topo_order:
+        acc = own[v]
+        for p in pred[v]:
+            acc |= masks[p]
+        masks[v] = acc
+    return masks
+
+
+def packed_reach_counts(
+    compiled: CompiledGraph,
+    pred: "Sequence[Sequence[int]] | None" = None,
+) -> list[int]:
+    """``nreach[v]`` — sources with a ≥1-edge path to ``v`` — via one
+    bit-packed sweep and a popcount gather.
+
+    The aggregate-formulation primitive: reachability is independent of
+    the filter set, so the gain formulas reduce per-source ψ sweeps to
+    this count plus one totals sweep (see
+    :func:`repro.propagation.engine.aggregate_receipts_ids`).
+    """
+    mark = compiled.source_mark()
+    return [
+        m.bit_count() - mark[v]
+        for v, m in enumerate(packed_reach_masks(compiled, pred))
+    ]

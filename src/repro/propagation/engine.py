@@ -107,6 +107,59 @@ def item_receipts_ids(
     return received
 
 
+def aggregate_receipts_ids(
+    compiled: "CompiledGraph",
+    mask: bytearray,
+    nreach: "list[int] | None" = None,
+    pred: "tuple[tuple[int, ...], ...] | None" = None,
+) -> list[int]:
+    """``T(v) = Σ_s ψ_s(v)`` in **one** sweep — the bit-packed tier's
+    deterministic workhorse.
+
+    The per-source sweeps are collapsible because the only per-source
+    fact a filter's emission depends on is *whether* that source's item
+    arrived — and arrival is filter-independent (a filter forwards at
+    least one copy of anything it receives), so it is exactly the
+    reachability count ``nreach`` from
+    :func:`repro.graphs.compiled.packed_reach_counts`.  Summing the
+    per-item recurrence over sources gives one uniform emission rule::
+
+        T(v)    = Σ_{p ∈ pred(v)} E(p)
+        E(p)    = (nreach(p) if p ∈ A else T(p)) + [p is a source]
+
+    A filter emits one copy per distinct item it received — ``nreach(p)``
+    items; a non-filter relays everything — ``T(p)`` copies; a designated
+    source additionally emits its own item once (``ψ_v(v) = 0`` in a
+    DAG, so the own item never double-counts through a parent).
+
+    ``nreach`` defaults to the graph's cached
+    :meth:`~repro.graphs.compiled.CompiledGraph.reach_counts`; the
+    Monte-Carlo samplers pass a live-edge world's pruned ``pred``
+    together with that world's own reachability counts (both must
+    describe the same edge subset, or the filter emissions disagree
+    with what actually arrived).
+
+    Cost: two sweeps per gains evaluation (this plus the suffix-weight
+    pass) instead of ``S + 1`` — the asymptotic win the bitpack tier is
+    built on.  Counts are exact Python ints, so no overflow ladder is
+    needed here.
+    """
+    if pred is None:
+        pred = compiled.pred_ids
+    if nreach is None:
+        nreach = compiled.reach_counts()
+    bonus = compiled.source_mark()
+    totals = [0] * compiled.n
+    emit = [0] * compiled.n
+    emit_get = emit.__getitem__
+    for v in compiled.topo_order:
+        parents = pred[v]
+        t = sum(map(emit_get, parents)) if parents else 0
+        totals[v] = t
+        emit[v] = (nreach[v] if mask[v] else t) + bonus[v]
+    return totals
+
+
 def item_receipts(
     graph: CGraph,
     origin: Node,

@@ -86,6 +86,7 @@ class SampledWorlds:
             tuple[tuple[tuple[int, ...], ...], tuple[tuple[int, ...], ...]]
             | None
         ] = [None] * model.trials
+        self._reach_counts: list[list[int] | None] = [None] * model.trials
 
     def adjacency(
         self, trial: int
@@ -122,6 +123,25 @@ class SampledWorlds:
         )
         self._adjacency[trial] = result
         return result
+
+    def reach_counts(self, trial: int) -> list[int]:
+        """``nreach_t[v]``: sources reaching ``v`` in one world (cached).
+
+        The per-world analogue of
+        :meth:`~repro.graphs.compiled.CompiledGraph.reach_counts`, via
+        the same bit-packed sweep over the world's pruned adjacency.
+        Filter-independent within the world, so one sweep serves every
+        gain evaluation of a run — the aggregate sampled sweeps' cached
+        leg.
+        """
+        cached = self._reach_counts[trial]
+        if cached is None:
+            from repro.graphs.compiled import packed_reach_counts
+
+            pred_t, _ = self.adjacency(trial)
+            cached = packed_reach_counts(self.compiled, pred_t)
+            self._reach_counts[trial] = cached
+        return cached
 
     def mask_bytes(self) -> bytes:
         """All masks concatenated, trial-major — ``(trials · m)`` bytes.
@@ -198,6 +218,34 @@ def get_worlds(graph: CGraph, model: PropagationModel) -> SampledWorlds:
 # ----------------------------------------------------------------------
 # Pure-Python sampled evaluations (the exact/fallback implementations)
 # ----------------------------------------------------------------------
+#
+# Every function below takes the same two extra axes:
+#
+# * ``tier`` — "bitpack" (default) runs the aggregate two-sweeps-per-
+#   world formulation (one cached reachability sweep per world, then
+#   T + W per evaluation); "lanes" runs the historical one-ψ-sweep-per-
+#   source loop.  Bit-identical by contract.
+# * ``trial_range`` — evaluate only worlds ``[lo, hi)``.  ``None`` means
+#   all worlds *and* makes the call eligible for process-pool sharding
+#   (:mod:`repro.propagation.parallel`): with the pool armed and enough
+#   worlds, the call fans out to workers that each re-sample the same
+#   seeded worlds and evaluate an explicit sub-range; the integer reduce
+#   is bit-identical to this serial loop.
+
+
+def _resolve_trials(
+    worlds: SampledWorlds, trial_range: "tuple[int, int] | None"
+) -> range:
+    if trial_range is None:
+        return range(worlds.trials)
+    lo, hi = trial_range
+    if not 0 <= lo <= hi <= worlds.trials:
+        from repro.exceptions import ParameterError
+
+        raise ParameterError(
+            f"trial range [{lo}, {hi}) outside [0, {worlds.trials})"
+        )
+    return range(lo, hi)
 
 
 def sampled_marginal_gains_ids_exact(
@@ -205,32 +253,56 @@ def sampled_marginal_gains_ids_exact(
     filter_ids: Iterable[int] = (),
     *,
     model: PropagationModel,
+    tier: str = "bitpack",
+    trial_range: "tuple[int, int] | None" = None,
 ) -> list[int]:
     """``Σ_t I_t(v | A)`` over interned ids — exact big-int SAA gains.
 
-    One ``W`` pass plus one ``ψ`` pass per source, per world, on the
-    world's pruned adjacency.  Summed (not averaged) so ties and argmax
-    compare on exact integers; divide by ``model.trials`` for the mean.
+    Per world: one ``W`` pass plus one aggregate ``T`` pass (bitpack) or
+    one ``ψ`` pass per source (lanes), on the world's pruned adjacency.
+    Summed (not averaged) so ties and argmax compare on exact integers;
+    divide by ``model.trials`` for the mean.
     """
     from repro.core.impact import absorbing_suffix_ids
-    from repro.propagation.engine import item_receipts_ids
+    from repro.propagation import parallel
+    from repro.propagation.engine import (
+        aggregate_receipts_ids,
+        item_receipts_ids,
+    )
 
     if not graph.sources:
         raise MissingSourceError("graph has no sources")
     compiled = graph.compiled()
+    filter_ids = list(filter_ids)
     mask = compiled.filter_mask(filter_ids)
     worlds = get_worlds(graph, model)
+    if parallel.should_shard(worlds.trials, trial_range):
+        return parallel.evaluate_sharded(
+            "marginal_gains", graph, filter_ids, model, tier
+        )
     gains = [0] * compiled.n
-    for trial in range(worlds.trials):
+    for trial in _resolve_trials(worlds, trial_range):
         pred_t, succ_t = worlds.adjacency(trial)
         w = absorbing_suffix_ids(compiled, mask, succ_t)
-        for origin_id in compiled.source_ids:
-            psi = item_receipts_ids(compiled, origin_id, mask, pred_t)
-            for v, count in enumerate(psi):
-                if count > 1 and not mask[v]:
+        if tier == "bitpack":
+            nreach_t = worlds.reach_counts(trial)
+            totals = aggregate_receipts_ids(compiled, mask, nreach_t, pred_t)
+            for v in range(compiled.n):
+                if mask[v]:
+                    continue
+                excess = totals[v] - nreach_t[v]
+                if excess:
                     wv = w[v]
                     if wv:
-                        gains[v] += (count - 1) * wv
+                        gains[v] += excess * wv
+        else:
+            for origin_id in compiled.source_ids:
+                psi = item_receipts_ids(compiled, origin_id, mask, pred_t)
+                for v, count in enumerate(psi):
+                    if count > 1 and not mask[v]:
+                        wv = w[v]
+                        if wv:
+                            gains[v] += (count - 1) * wv
     return gains
 
 
@@ -239,23 +311,39 @@ def sampled_simplified_impacts_ids_exact(
     filter_ids: Iterable[int] = (),
     *,
     model: PropagationModel,
+    tier: str = "bitpack",
+    trial_range: "tuple[int, int] | None" = None,
 ) -> list[int]:
     """``Σ_t ψ_t(v) · dout_t(v)`` over interned ids (``Greedy_L``'s SAA
     score; ``dout_t`` counts the world's *live* out-edges)."""
-    from repro.propagation.engine import item_receipts_ids
+    from repro.propagation import parallel
+    from repro.propagation.engine import (
+        aggregate_receipts_ids,
+        item_receipts_ids,
+    )
 
     compiled = graph.compiled()
+    filter_ids = list(filter_ids)
     mask = compiled.filter_mask(filter_ids)
     worlds = get_worlds(graph, model)
+    if parallel.should_shard(worlds.trials, trial_range):
+        return parallel.evaluate_sharded(
+            "simplified_impacts", graph, filter_ids, model, tier
+        )
     scores = [0] * compiled.n
-    for trial in range(worlds.trials):
+    for trial in _resolve_trials(worlds, trial_range):
         pred_t, succ_t = worlds.adjacency(trial)
-        totals = [0] * compiled.n
-        for origin_id in compiled.source_ids:
-            psi = item_receipts_ids(compiled, origin_id, mask, pred_t)
-            for v, count in enumerate(psi):
-                if count:
-                    totals[v] += count
+        if tier == "bitpack":
+            totals = aggregate_receipts_ids(
+                compiled, mask, worlds.reach_counts(trial), pred_t
+            )
+        else:
+            totals = [0] * compiled.n
+            for origin_id in compiled.source_ids:
+                psi = item_receipts_ids(compiled, origin_id, mask, pred_t)
+                for v, count in enumerate(psi):
+                    if count:
+                        totals[v] += count
         for v, total in enumerate(totals):
             if total:
                 scores[v] += total * len(succ_t[v])
@@ -267,6 +355,8 @@ def sampled_total_receipts_exact(
     filters: Collection[Node] = (),
     *,
     model: PropagationModel,
+    tier: str = "bitpack",
+    trial_range: "tuple[int, int] | None" = None,
 ) -> int:
     """``Σ_t Φ_t(A, V)`` — the summed-over-worlds objective raw material.
 
@@ -274,19 +364,35 @@ def sampled_total_receipts_exact(
     ``E[Φ(A, V)]`` under live-edge relaying.
     """
     from repro.graphs.validation import validate_filter_set
-    from repro.propagation.engine import item_receipts_ids
+    from repro.propagation import parallel
+    from repro.propagation.engine import (
+        aggregate_receipts_ids,
+        item_receipts_ids,
+    )
 
     if not graph.sources:
         raise MissingSourceError("graph has no sources")
     validate_filter_set(graph, set(filters))
     compiled = graph.compiled()
-    mask = compiled.filter_mask(compiled.to_ids(filters))
+    filter_ids = compiled.to_ids(filters)
+    mask = compiled.filter_mask(filter_ids)
     worlds = get_worlds(graph, model)
+    if parallel.should_shard(worlds.trials, trial_range):
+        return parallel.evaluate_sharded(
+            "total_receipts", graph, filter_ids, model, tier
+        )
     total = 0
-    for trial in range(worlds.trials):
+    for trial in _resolve_trials(worlds, trial_range):
         pred_t, _ = worlds.adjacency(trial)
-        for origin_id in compiled.source_ids:
+        if tier == "bitpack":
             total += sum(
-                item_receipts_ids(compiled, origin_id, mask, pred_t)
+                aggregate_receipts_ids(
+                    compiled, mask, worlds.reach_counts(trial), pred_t
+                )
             )
+        else:
+            for origin_id in compiled.source_ids:
+                total += sum(
+                    item_receipts_ids(compiled, origin_id, mask, pred_t)
+                )
     return total

@@ -102,6 +102,7 @@ def execute_placement(
     trials: int = 0,
     mc_seed: int = 0,
     probabilities: "float | dict | None" = None,
+    world_workers: int = 1,
 ) -> dict[str, Any]:
     """Run one fully-specified placement and serialize it.
 
@@ -126,6 +127,7 @@ def execute_placement(
     """
     from repro.obs.instrument import InstrumentedBackend
     from repro.obs.trace import span
+    from repro.propagation.parallel import use_world_workers
 
     resolved = _build_request_model(model, trials, mc_seed, probabilities)
     with span("service.plan", algorithm=algorithm, backend=backend, k=k):
@@ -134,7 +136,9 @@ def execute_placement(
             algorithm, strategy=strategy, backend=instrumented, model=resolved
         )
     try:
-        with use_backend(instrumented):
+        # The world-worker scope is thread-local, so it must be entered
+        # here — on the pool thread running the job — not at app startup.
+        with use_backend(instrumented), use_world_workers(world_workers):
             with span("service.solve", algorithm=algorithm, k=k):
                 result = instance.place(
                     graph, k, rng=random.Random(rng_seed)
@@ -168,6 +172,7 @@ def execute_placement_from_spec(
     trials: int = 0,
     mc_seed: int = 0,
     probabilities: "float | dict | None" = None,
+    world_workers: int = 1,
 ) -> dict[str, Any]:
     """Process-pool entry point: rebuild the graph, then place.
 
@@ -186,6 +191,7 @@ def execute_placement_from_spec(
         trials=trials,
         mc_seed=mc_seed,
         probabilities=probabilities,
+        world_workers=world_workers,
     )
 
 
@@ -202,6 +208,7 @@ class ServiceApp:
         max_graphs: int | None = None,
         warm_backends: bool = True,
         wait_timeout: float = DEFAULT_WAIT_TIMEOUT,
+        world_workers: int = 1,
     ) -> None:
         self.store = GraphStore(
             max_graphs=max_graphs, warm_backends=warm_backends
@@ -210,6 +217,10 @@ class ServiceApp:
             max_entries=cache_entries, max_bytes=cache_bytes
         )
         self.jobs = JobManager(workers=workers, pool=pool)
+        #: World-shard workers each placement job evaluates sampled
+        #: worlds with (1 = serial); scoped per job thread, so concurrent
+        #: jobs cannot leak the setting into each other.
+        self.world_workers = max(1, int(world_workers))
         self.started_unix = time.time()
         self.wait_timeout = wait_timeout
         self._requests = 0
@@ -475,6 +486,7 @@ class ServiceApp:
                     key.trials,
                     key.mc_seed,
                     entry.probabilities,
+                    self.world_workers,
                 )
             else:
                 payload = execute_placement(
@@ -489,6 +501,7 @@ class ServiceApp:
                     trials=key.trials,
                     mc_seed=key.mc_seed,
                     probabilities=entry.probabilities,
+                    world_workers=self.world_workers,
                 )
             self.cache.put(
                 key, payload,
@@ -617,6 +630,7 @@ class ServiceApp:
             "pool": {
                 "kind": self.jobs.pool_kind,
                 "workers": self.jobs.workers,
+                "world_workers": self.world_workers,
             },
             "backends": list(available_backends()),
         }
