@@ -300,6 +300,96 @@ def bitpack_speedup(
     return ratios
 
 
+def sketch_speedup(
+    records_or_rows: Sequence[Any],
+    *,
+    exact: str = "G_All",
+    sketch: str = "G_All_sketch",
+) -> dict[str, float]:
+    """Per-cell end-to-end speedup of the sketch strategy over exact.
+
+    Matches sketch cells against the exact cell that differs only on the
+    algorithm axis and divides end-to-end cost — ``plan_seconds +
+    seconds``, the time to an answer on a fresh graph.  Solve-only
+    seconds would flatter exact: at scale its dominant cost is the
+    one-time big-int plan/warm (superquadratic in n), which the
+    ``seconds`` column deliberately excludes and which is exactly the
+    cost the sketch strategy eliminates — the ``scale`` suite's exact
+    cells carry ``fresh_backend`` so that cost is attributed to them.
+    The acceptance bar is ≥ 10 on the largest rung both strategies can
+    run (``scale-dag@0.3``, n=3·10^4) — above it exact has no cell at
+    all, which is the rest of the argument.
+
+    Accepts :class:`~repro.bench.results.BenchRecord` objects or raw
+    ``results`` rows; returns ``{sketch-cell-key: ratio}``.
+    """
+    rows = [
+        r.to_json_dict() if hasattr(r, "to_json_dict") else r
+        for r in records_or_rows
+    ]
+    cost = {
+        row["key"]: float(row["seconds"]) + float(row.get("plan_seconds", 0.0))
+        for row in rows
+    }
+    ratios: dict[str, float] = {}
+    for row in rows:
+        if row["algorithm"] != sketch:
+            continue
+        key = row["key"]
+        exact_key = key.replace(f"/{sketch}/", f"/{exact}/")
+        if exact_key not in cost or exact_key == key:
+            continue
+        sketch_cost = cost[key]
+        ratios[key] = (
+            float("inf")
+            if sketch_cost == 0
+            else cost[exact_key] / sketch_cost
+        )
+    return ratios
+
+
+def sketch_error(
+    records_or_rows: Sequence[Any],
+    *,
+    exact: str = "G_All",
+    sketch: str = "G_All_sketch",
+) -> dict[str, float]:
+    """Per-cell objective ratio ``F(sketch prefix) / F(exact prefix)``.
+
+    Both objectives come from the harness's exact score phase, so the
+    ratio measures *selection* quality — how much objective the
+    estimator-driven prefix gives up against exact greedy — not
+    estimator noise.  Cells without an exact twin (the rungs exact
+    cannot run) and estimator-scored cells (``/est`` keys, whose
+    recorded objective is itself an estimate) are skipped: this
+    comparator only ever compares exactly-scored numbers.  The
+    acceptance bar for the ``scale`` suite is a ratio ≥ ``1 − ε`` at
+    the default sketch resolution on every cell where exact is
+    available.
+
+    Accepts :class:`~repro.bench.results.BenchRecord` objects or raw
+    ``results`` rows; returns ``{sketch-cell-key: ratio}``.
+    """
+    rows = [
+        r.to_json_dict() if hasattr(r, "to_json_dict") else r
+        for r in records_or_rows
+    ]
+    objectives = {row["key"]: row["objective"] for row in rows}
+    ratios: dict[str, float] = {}
+    for row in rows:
+        if row["algorithm"] != sketch or "/est" in row["key"]:
+            continue
+        key = row["key"]
+        exact_key = key.replace(f"/{sketch}/", f"/{exact}/")
+        if exact_key not in objectives or exact_key == key:
+            continue
+        exact_objective = objectives[exact_key]
+        if exact_objective <= 0:
+            continue
+        ratios[key] = objectives[key] / exact_objective
+    return ratios
+
+
 def summarize_speedups(
     records_or_rows: Sequence[Any],
     *,

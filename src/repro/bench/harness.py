@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.backends.registry import get_backend, use_backend
 from repro.bench.instrument import CountingBackend
@@ -32,11 +33,24 @@ from repro.exceptions import ParameterError
 from repro.graphs.cgraph import CGraph
 from repro.obs.trace import span
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.largescale import StreamedGraph
 
-def _load_graph(scenario: BenchScenario) -> CGraph:
+
+def _load_graph(scenario: BenchScenario) -> "CGraph | StreamedGraph":
     kwargs: dict[str, object] = {"seed": scenario.seed}
     if scenario.scale is not None:
         kwargs["scale"] = scenario.scale
+    if scenario.streamed:
+        # The scale tier's ingestion path: generator → int32 CSR without
+        # a materialized edge list.  Returns a StreamedGraph — the
+        # source-axis rewrite below needs a CGraph, so the two axes are
+        # mutually exclusive by construction.
+        if scenario.sources:
+            raise ParameterError(
+                "streamed cells cannot re-designate sources"
+            )
+        kwargs["streamed"] = True
     graph = get_dataset(scenario.dataset, **kwargs)
     if scenario.sources:
         # Widen the source axis (the paper datasets carry one source):
@@ -45,9 +59,24 @@ def _load_graph(scenario: BenchScenario) -> CGraph:
     return graph
 
 
+def _is_sketch_cell(scenario: BenchScenario) -> bool:
+    """Whether the cell's algorithm is the sketch-strategy execution."""
+    from repro.core.registry import get_algorithm
+    from repro.sketches.celf import SketchCelfGreedyAll
+
+    return isinstance(get_algorithm(scenario.algorithm), SketchCelfGreedyAll)
+
+
 def _scenario_backend(scenario: BenchScenario):
-    """The cell's backend: the registry singleton, or a tier-pinned one."""
-    if scenario.tier == "bitpack":
+    """The cell's backend: the registry singleton, or a cell-private one.
+
+    ``fresh_backend`` cells get their own instance so the one-time warm
+    cost lands in *their* ``plan_seconds`` — with the singleton, the
+    first toucher of a graph (often the suite's Φ-constant computation)
+    silently pays for everyone.  Tier-pinned cells are always private:
+    retuning the singleton's tier would leak into other cells.
+    """
+    if scenario.tier == "bitpack" and not scenario.fresh_backend:
         return get_backend(scenario.backend)
     from repro.backends.registry import build_backend
 
@@ -80,9 +109,50 @@ def run_compile_scenario(
     data *outside* the timed region (the compiled view is cached on the
     immutable graph, so a fresh instance is the only way to time a cold
     build) and times exactly one ``graph.compiled()`` call.
+
+    Streamed cells time the whole ingestion instead — generation,
+    interning and CSR assembly are one fused pass with no edge list to
+    set up untimed, which is precisely the property the cell measures —
+    and additionally record the compiled tables' ``mapped_bytes``
+    (0 for in-memory builds; nonzero once the graph is reopened from a
+    ``.fpc`` file).
     """
     if repeats <= 0:
         raise ParameterError("repeats must be positive")
+    if scenario.streamed:
+        best = float("inf")
+        total = 0.0
+        fresh = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fresh = _load_graph(scenario)
+            fresh.compiled()
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            best = min(best, elapsed)
+        assert fresh is not None  # repeats >= 1
+        split = fresh.compiled().nbytes_split()
+        phases = {"plan": best}
+        if repeats > 1:
+            phases["repeat_overhead"] = total - best
+        return BenchRecord(
+            scenario=scenario,
+            nodes=fresh.number_of_nodes(),
+            edges=fresh.number_of_edges(),
+            seconds=best,
+            repeats=repeats,
+            plan_seconds=best,
+            phases=phases,
+            wall_seconds=total,
+            evaluations={
+                "compiled_bytes": split["resident"],
+                "mapped_bytes": split["mapped"],
+            },
+            filters=(),
+            filters_found=0,
+            objective=0,
+            filter_ratio=0.0,
+        )
     if graph is None:
         graph = _load_graph(scenario)
     edges = list(graph.edges())
@@ -180,7 +250,13 @@ def run_scenario(
         wall_start = time.perf_counter()
         with span("bench.plan", cell=scenario.key()):
             graph.compiled()
-            backend.warm(graph)
+            # Sketch-strategy cells never drive the exact backend during
+            # the solve (the sketch engine builds its own float lanes),
+            # so warming it here would charge them the exact adapter
+            # build they exist to avoid — their exact score, if any,
+            # warms lazily in the untimed score phase instead.
+            if scenario.exact_score and not _is_sketch_cell(scenario):
+                backend.warm(graph)
             if model is not None:
                 backend.sampled_marginal_gains_ids(graph, (), model=model)
         plan_phase = time.perf_counter() - wall_start
@@ -222,6 +298,17 @@ def run_scenario(
     if repeats > 1:
         phases["repeat_overhead"] = repeat_total - best
 
+    # The sketch strategy bypasses the propagation backend for its
+    # estimates, so the counting wrapper never sees its work; the
+    # per-step evaluation markers carry it instead.  Exact/lazy step
+    # markers mirror backend calls the counter already saw — merging
+    # those would double-count — so only the sketch-native kinds join.
+    evaluations = dict(counting.counts)
+    for step in result.steps:
+        for kind, count in step.evaluations:
+            if kind.startswith("sketch_"):
+                evaluations[kind] = evaluations.get(kind, 0) + count
+
     return BenchRecord(
         scenario=scenario,
         nodes=graph.number_of_nodes(),
@@ -231,7 +318,7 @@ def run_scenario(
         plan_seconds=plan_seconds,
         phases=phases,
         wall_seconds=wall_seconds,
-        evaluations=dict(counting.counts),
+        evaluations=evaluations,
         filters=tuple(repr(v) for v in result.filters),
         filters_found=len(result.filters),
         objective=objective,
@@ -248,6 +335,15 @@ def _score_placement(
     phi_constants: tuple[int, int] | None,
 ):
     """Score a placement (objective + FR) outside the timed region."""
+    if not scenario.exact_score:
+        # Estimator-scored rung: one exact Φ sweep does not terminate at
+        # this scale (big-int path counts), which is the regime the cell
+        # documents.  The recorded step gains sum to the algorithm's own
+        # objective claim — exact F(A) for exact strategies, the
+        # bottom-k estimate for an unrescored sketch run — and the
+        # filter ratio is left at 0.0 rather than faked.
+        objective = float(sum(step.gain for step in result.steps))
+        return result, objective, 0.0
     if model is not None:
         # SAA scoring: every estimate averages the cell's shared
         # worlds, so objective and FR are mutually consistent floats.
@@ -309,7 +405,13 @@ def run_suite(
             graph.compiled()
             compile_seconds[gkey] = time.perf_counter() - start
         graph = graphs[gkey]
-        if gkey not in constants and scenario.mode != "compile":
+        if (
+            gkey not in constants
+            and scenario.mode != "compile"
+            and scenario.exact_score
+        ):
+            # Estimator-scored cells never compute Φ constants: the
+            # sweeps are exactly the cost their rung cannot pay.
             phi_empty = phi(graph, ())
             constants[gkey] = (
                 phi_empty,

@@ -55,6 +55,15 @@ Built-in suites
     evaluation pinned to 1 vs 4 process-pool workers.  Placements are
     bit-identical by contract (``tests/test_parallel_worlds.py``); the
     cells track what the wall-clock does.
+``scale``
+    The million-node scale tier on ``scale-dag`` rungs: all three
+    execution strategies where exact is cheap (n=3·10^3), the
+    exact-vs-sketch ≥10× speedup gate at the largest rung both can run
+    (n=3·10^4, :func:`repro.bench.compare.sketch_speedup` /
+    :func:`repro.bench.compare.sketch_error`), and sketch-only
+    estimator-scored cells at n=10^5 and n=10^6 (``/streamed/est`` keys)
+    where the exact plan does not terminate — plus a streamed
+    ingestion cell recording the resident/mapped byte split.
 """
 
 from __future__ import annotations
@@ -118,6 +127,29 @@ class BenchScenario:
     #: ambient :func:`repro.propagation.parallel.active_workers` value;
     #: >0 pins the cell, 1 meaning explicitly serial).
     workers: int = 0
+    #: Build the graph through the streamed loader
+    #: (``get_dataset(..., streamed=True)`` →
+    #: :class:`repro.graphs.largescale.StreamedGraph`) instead of
+    #: materializing a :class:`~repro.graphs.cgraph.CGraph`.  The graph
+    #: is identical either way; what changes is the construction path —
+    #: which is exactly what a streamed ``compile`` cell times.
+    streamed: bool = False
+    #: Whether the score phase computes the exact objective (Φ sweeps).
+    #: The scale tier's top rungs turn this off: big-int Φ at n ≥ 10^5
+    #: does not terminate at matrix scale — the regime the sketch
+    #: strategy exists for.  Unscored cells record the sum of the
+    #: recorded step gains (the estimator objective for an unrescored
+    #: sketch run) and a filter ratio of 0.0.
+    exact_score: bool = True
+    #: Build this cell's backend fresh instead of resolving the process
+    #: singleton, so the backend's one-time warm cost lands in the
+    #: cell's ``plan_seconds`` rather than being amortized invisibly
+    #: across the suite.  The scale tier's exact cells use this: at
+    #: n ≥ 3·10^4 the exact adapter build *is* the cost under
+    #: measurement (minutes, growing superquadratically), while the
+    #: warmed sweeps are milliseconds.  Key-silent — attribution, not
+    #: identity.
+    fresh_backend: bool = False
 
     def key(self) -> str:
         """``dataset@scale/seedN/algorithm/kK/backend[/…]``.
@@ -126,9 +158,11 @@ class BenchScenario:
         ``k=0``), so their keys need no extra suffix.  Non-default axes
         append suffixes — ``/srcN`` (re-designated sources),
         ``/tier-lanes`` (pinned lanes tier), ``/model-pP-tT``
-        (probabilistic model), ``/wN`` (pinned world workers) — while
-        default-valued axes add nothing, so prior ``BENCH.json``
-        baselines keep matching.
+        (probabilistic model), ``/wN`` (pinned world workers),
+        ``/streamed`` (streamed graph construction), ``/est``
+        (estimator-scored, no exact objective) — while default-valued
+        axes add nothing, so prior ``BENCH.json`` baselines keep
+        matching.
         """
         scale = "default" if self.scale is None else f"{self.scale:g}"
         base = (
@@ -143,15 +177,22 @@ class BenchScenario:
             base += f"/{self.model}-p{self.edge_prob:g}-t{self.trials}"
         if self.workers:
             base += f"/w{self.workers}"
+        if self.streamed:
+            base += "/streamed"
+        if not self.exact_score:
+            base += "/est"
         if self.mode == "service_cold":
             return f"{base}/cold"
         if self.mode == "service_hit":
             return f"{base}/hit"
         return base
 
-    def graph_key(self) -> tuple[str, float | None, int, int]:
+    def graph_key(self) -> tuple[str, float | None, int, int, bool]:
         """Cache key for the generated graph (shared across cells)."""
-        return (self.dataset, self.scale, self.seed, self.sources)
+        return (
+            self.dataset, self.scale, self.seed, self.sources,
+            self.streamed,
+        )
 
 
 def _cross(
@@ -425,6 +466,97 @@ def parallel_suite(
     return _parallel_cells([("quote", 2.2)], seed)
 
 
+#: The ``scale`` suite's dataset rungs, as ``scale-dag`` scale factors:
+#: 0.03 → n=3·10^3 (every strategy, exact-scored), 0.3 → n=3·10^4 (the
+#: ≥10× sketch-vs-exact gate — the largest rung where exact completes at
+#: matrix scale: its adapter warm alone is already ~a minute there and
+#: grows superquadratically), 1.0 → n=10^5 and 10.0 → n=10^6 (streamed,
+#: sketch-only, estimator-scored: the exact plan does not terminate at
+#: matrix scale, so pretending to score these would be dishonest).
+SCALE_RUNGS: tuple[float, ...] = (0.03, 0.3, 1.0, 10.0)
+
+
+def scale_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The scale tier: the sketch strategy climbing the ``scale-dag`` rungs.
+
+    One backend carries the axis (numpy when available — the tier's
+    intended lane; the suite is about strategy scaling, not the backend
+    cross).  Cells:
+
+    * ``@0.03`` — ``G_All``/``G_All_lazy``/``G_All_sketch``, exact-scored;
+      the sketch cell still pays its exact prefix rescore here (n below
+      the rescore guard), so its recorded gains are exact.
+    * ``@0.3`` — ``G_All`` vs selection-only ``G_All_sketch``, both
+      exact-scored in the score phase: the
+      :func:`repro.bench.compare.sketch_speedup` (≥10× end-to-end) and
+      :func:`repro.bench.compare.sketch_error` (objective within
+      ``1−ε``) gate pair.  The exact cells carry ``fresh_backend`` so
+      their dominant cost — the one-time exact adapter warm — is
+      attributed to their own ``plan_seconds``.
+    * ``@1.0`` / ``@10.0`` — streamed ingestion, sketch only,
+      ``exact_score=False``: the rungs exact/lazy cannot run, which is
+      the tentpole's reason to exist.  The n=10^6 cell is the honest
+      million-node measurement.
+    * a streamed ``compile`` cell at ``@1.0`` timing generator→CSR
+      ingestion (no materialized edge list) and recording the
+      resident/mapped compiled-byte split.
+    """
+    backends = _resolve_backends(backends)
+    backend = "numpy" if "numpy" in backends else backends[0]
+    scenarios = [
+        BenchScenario(
+            dataset="scale-dag",
+            algorithm=algorithm,
+            k=10,
+            backend=backend,
+            scale=0.03,
+            seed=seed,
+            fresh_backend=algorithm != "G_All_sketch",
+        )
+        for algorithm in ("G_All", "G_All_lazy", "G_All_sketch")
+    ]
+    scenarios.extend(
+        BenchScenario(
+            dataset="scale-dag",
+            algorithm=algorithm,
+            k=10,
+            backend=backend,
+            scale=0.3,
+            seed=seed,
+            fresh_backend=algorithm != "G_All_sketch",
+        )
+        for algorithm in ("G_All", "G_All_sketch")
+    )
+    scenarios.extend(
+        BenchScenario(
+            dataset="scale-dag",
+            algorithm="G_All_sketch",
+            k=10,
+            backend=backend,
+            scale=scale,
+            seed=seed,
+            streamed=True,
+            exact_score=False,
+        )
+        for scale in (1.0, 10.0)
+    )
+    scenarios.append(
+        BenchScenario(
+            dataset="scale-dag",
+            algorithm="compile",
+            k=0,
+            backend="python",
+            scale=1.0,
+            seed=seed,
+            mode="compile",
+            streamed=True,
+        )
+    )
+    return scenarios
+
+
 def apply_model(
     scenarios: Sequence[BenchScenario],
     *,
@@ -550,6 +682,7 @@ _SUITES = {
     "probabilistic": probabilistic_suite,
     "bitpack": bitpack_suite,
     "parallel": parallel_suite,
+    "scale": scale_suite,
 }
 
 #: Every built-in suite name, in presentation order.

@@ -29,11 +29,18 @@ Subcommands
 (``auto``, the default, uses NumPy when available); every backend returns
 identical results.
 
-``--strategy {exact,lazy}`` (on ``place`` and ``experiment``) selects the
-execution strategy: ``exact`` runs the direct implementations, ``lazy``
-runs lazy-capable algorithms (the ``Greedy_All`` family) as CELF on the
-incremental gain engine — identical selections and objective values, one
-full propagation sweep instead of one per placement.
+``--strategy {exact,lazy,sketch}`` (on ``place`` and ``experiment``)
+selects the execution strategy: ``exact`` runs the direct
+implementations, ``lazy`` runs lazy-capable algorithms (the
+``Greedy_All`` family) as CELF on the incremental gain engine —
+identical selections and objective values, one full propagation sweep
+instead of one per placement — and ``sketch`` runs sketch-capable
+algorithms on bottom-k reachability estimates (:mod:`repro.sketches`),
+the million-node scale tier.  ``--sketch-k`` / ``--epsilon`` /
+``--sketch-seed`` (on ``place``) tune the estimator; ``--streamed``
+builds ``--dataset scale-dag`` through the streaming compiler
+(:mod:`repro.graphs.largescale`) instead of materializing a python
+edge list, which is how ``--scale 10`` (n = 10^6) stays feasible.
 
 ``--trace`` / ``--profile PATH`` (on ``place``, ``experiment`` and
 ``bench``) record the run's spans via :mod:`repro.obs` and print the
@@ -58,6 +65,8 @@ Examples
     filter-placement place --edges my_graph.txt --algorithm G_Max -k 10
     filter-placement place --dataset citation -k 10 --backend numpy
     filter-placement place --dataset citation -k 10 --strategy lazy --json
+    filter-placement place --dataset scale-dag --scale 1.0 --streamed \
+        -k 10 --strategy sketch --sketch-k 64
     filter-placement place --dataset quote -k 8 --model live-edge \
         --edge-prob 0.7 --trials 64
     filter-placement stats --dataset citation --scale 0.1 --json
@@ -100,6 +109,15 @@ def _load_graph(args: argparse.Namespace) -> CGraph:
     kwargs: dict[str, object] = {"seed": args.seed}
     if args.scale is not None:
         kwargs["scale"] = args.scale
+    if getattr(args, "streamed", False):
+        if args.dataset != "scale-dag":
+            from repro.exceptions import ParameterError
+
+            raise ParameterError(
+                "--streamed applies to --dataset scale-dag only; the "
+                "other datasets materialize python edge lists by design"
+            )
+        kwargs["streamed"] = True
     return get_dataset(args.dataset, **kwargs)
 
 
@@ -136,7 +154,44 @@ def _add_strategy_argument(parser: argparse.ArgumentParser) -> None:
         default="exact",
         help="execution strategy: exact = direct implementations, "
         "lazy = CELF with incremental impact updates (same results, "
-        "fewer propagation sweeps; default: exact)",
+        "fewer propagation sweeps), sketch = CELF on bottom-k "
+        "reachability estimates (the scale tier; default: exact)",
+    )
+
+
+def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.sketches.bottomk import DEFAULT_SKETCH_K
+
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--sketch-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bottom-k sketch registers per node under --strategy sketch "
+        f"(default: {DEFAULT_SKETCH_K}; more registers, tighter estimates)",
+    )
+    group.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="target relative estimator error under --strategy sketch; "
+        "chooses the register count k(EPS) instead of --sketch-k",
+    )
+    parser.add_argument(
+        "--sketch-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed of the sketch's source hashes (default: 0; any fixed "
+        "seed gives byte-reproducible sketches)",
+    )
+    parser.add_argument(
+        "--streamed",
+        action="store_true",
+        help="build --dataset scale-dag through the streaming compiler "
+        "(no python edge list; required for --scale 10, n = 10^6)",
     )
 
 
@@ -244,7 +299,12 @@ def _run_place(args: argparse.Namespace) -> int:
         graph = _load_graph(args)
         model = _build_cli_model(args)
         algorithm = get_algorithm(
-            args.algorithm, strategy=args.strategy, model=model
+            args.algorithm,
+            strategy=args.strategy,
+            model=model,
+            sketch_k=args.sketch_k,
+            epsilon=args.epsilon,
+            sketch_seed=args.sketch_seed,
         )
     with span("place.solve", algorithm=args.algorithm, k=args.k):
         result = algorithm.place(graph, args.k)
@@ -265,6 +325,15 @@ def _report_place(args, graph, model, result) -> int:
     print(f"algorithm      : {result.algorithm}")
     print(f"requested k    : {args.k}")
     print(f"filters chosen : {len(result.filters)}")
+    if result.rescored is not None:
+        status = "exactly rescored" if result.rescored else "estimate only"
+        print(f"sketch gains   : {status}")
+    if result.rescored is False:
+        # The graph sits beyond the sketch tier's exact-rescore guard;
+        # two more full sweeps just to print Φ would defeat the tier.
+        estimate = float(sum(result.estimated_gains))
+        print(f"F(A) estimate  : {estimate:g}  (bottom-k estimator)")
+        return 0
     if model is not None:
         # SAA estimates over the model's sampled worlds — floats, and
         # mutually consistent because every value shares the worlds.
@@ -562,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("-k", type=int, required=True, help="filter budget")
     _add_backend_argument(place)
     _add_strategy_argument(place)
+    _add_sketch_arguments(place)
     _add_model_arguments(place)
     place.add_argument(
         "--json",

@@ -69,6 +69,19 @@ class PlacementResult:
         True when the first ``j ≤ k`` entries of ``filters`` equal the
         result the same algorithm would return for budget ``j``.  The FR
         sweep exploits this to build a whole curve from one run.
+    estimated_gains:
+        For estimate-driven strategies (the ``sketch`` tier): the
+        per-step gain *estimates* that drove selection, in step order.
+        Empty for exact algorithms.  When :attr:`rescored` is True the
+        step records carry the exact gains and this tuple preserves what
+        the estimator believed — the pair is the estimator-error audit
+        trail the service payload exposes.
+    rescored:
+        ``sketch`` strategy only: True when the recorded step gains are
+        exact (either the sketch ran in its exactness regime or the
+        winning prefix was exactly rescored), False when they are still
+        estimates (rescoring skipped above the size guard).  None for
+        exact algorithms.
     """
 
     algorithm: str
@@ -76,6 +89,8 @@ class PlacementResult:
     requested_k: int
     steps: tuple[PlacementStep, ...] = field(default_factory=tuple)
     prefix_consistent: bool = True
+    estimated_gains: tuple[float, ...] = ()
+    rescored: bool | None = None
 
     def filter_set(self) -> frozenset[Node]:
         """The chosen filters as an (order-free) frozen set ``A``."""

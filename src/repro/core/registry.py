@@ -14,6 +14,13 @@ computed, never *what* they are:
   each placement.  Results are bit-identical to ``exact`` (enforced by
   the equivalence tests), so a strategy switch can never change a figure,
   a filter set, or a ``BENCH.json`` drift check — only the cost profile.
+* ``sketch`` — selection on bottom-k reachability estimates
+  (:mod:`repro.sketches`): float sweeps whose cost is independent of the
+  source count, with the winning prefix exactly rescored.  On graphs
+  with fewer sources than sketch registers (every built-in dataset) the
+  estimates are exact and results stay bit-identical to ``exact``;
+  beyond that the strategy trades a bounded ``(1 ± ε)`` estimator error
+  for the million-node scale tier.
 
 Algorithms without a lazy path (the heuristics, the randomized baselines,
 the exact searches) ignore the strategy: there is nothing to lazify in a
@@ -56,6 +63,7 @@ from repro.core.random_placement import (
 )
 from repro.core.tree_dp import TreeDynamicProgram
 from repro.exceptions import ParameterError
+from repro.sketches.celf import SketchCelfGreedyAll
 
 _FACTORIES: dict[str, Callable[[], PlacementAlgorithm]] = {
     "G_All": GreedyAll,
@@ -63,6 +71,7 @@ _FACTORIES: dict[str, Callable[[], PlacementAlgorithm]] = {
     # the cost profile Figure 11 measures.
     "G_All_paper": lambda: GreedyAll(early_stop=False),
     "G_All_lazy": LazyGreedyAll,
+    "G_All_sketch": SketchCelfGreedyAll,
     "G_Max": GreedyMax,
     "G_1": GreedyOne,
     "G_L": GreedyL,
@@ -85,11 +94,24 @@ _LAZY_FACTORIES: dict[str, Callable[[], PlacementAlgorithm]] = {
     "G_All_lazy": CelfGreedyAll,
 }
 
+#: Sketch-capable names: under ``strategy="sketch"`` these resolve to the
+#: bottom-k estimate-driven implementation, keeping the original reported
+#: name (in the exactness regime results are identical; beyond it the
+#: label still denotes the same selection rule, executed on estimates).
+_SKETCH_FACTORIES: dict[str, Callable[[], PlacementAlgorithm]] = {
+    "G_All": lambda: SketchCelfGreedyAll(name="G_All"),
+    "G_All_paper": lambda: SketchCelfGreedyAll(
+        early_stop=False, name="G_All_paper"
+    ),
+    "G_All_lazy": lambda: SketchCelfGreedyAll(name="G_All_lazy"),
+    "G_All_sketch": SketchCelfGreedyAll,
+}
+
 #: Every registered algorithm name, in presentation order.
 ALGORITHM_NAMES: tuple[str, ...] = tuple(_FACTORIES)
 
 #: Execution strategies accepted by ``get_algorithm`` / ``--strategy``.
-STRATEGY_NAMES: tuple[str, ...] = ("exact", "lazy")
+STRATEGY_NAMES: tuple[str, ...] = ("exact", "lazy", "sketch")
 
 #: Algorithm names whose scores change under a probabilistic relaying
 #: model (the rest score structurally or draw at random and ignore it).
@@ -103,6 +125,9 @@ MODEL_AWARE_NAMES: tuple[str, ...] = (
 
 #: Algorithm names that actually change execution under ``lazy``.
 LAZY_CAPABLE_NAMES: tuple[str, ...] = tuple(_LAZY_FACTORIES)
+
+#: Algorithm names that actually change execution under ``sketch``.
+SKETCH_CAPABLE_NAMES: tuple[str, ...] = tuple(_SKETCH_FACTORIES)
 
 #: The seven algorithms the paper's FR figures plot, in legend order.
 PAPER_ALGORITHM_NAMES: tuple[str, ...] = (
@@ -119,6 +144,7 @@ PAPER_ALGORITHM_NAMES: tuple[str, ...] = (
 DETERMINISTIC_ALGORITHM_NAMES: tuple[str, ...] = (
     "G_All",
     "G_All_lazy",
+    "G_All_sketch",
     "G_Max",
     "G_1",
     "G_L",
@@ -176,13 +202,21 @@ def get_algorithm(
     strategy: str | None = None,
     backend: "str | PropagationBackend | None" = None,
     model: "PropagationModel | None" = None,
+    sketch_k: int | None = None,
+    epsilon: float | None = None,
+    sketch_seed: int | None = None,
 ) -> PlacementAlgorithm:
     """Instantiate the algorithm registered under ``name``.
 
-    ``strategy`` selects the execution strategy (``"exact"`` or
-    ``"lazy"``; None uses the scoped/process default).  Lazy execution
-    returns the CELF implementation for capable names and the exact one
-    otherwise — selections are identical either way.
+    ``strategy`` selects the execution strategy (``"exact"``, ``"lazy"``
+    or ``"sketch"``; None uses the scoped/process default).  Lazy
+    execution returns the CELF implementation for capable names and the
+    exact one otherwise — selections are identical either way.  Sketch
+    execution returns the bottom-k estimate-driven implementation for
+    capable names (:data:`SKETCH_CAPABLE_NAMES`); ``sketch_k`` /
+    ``epsilon`` / ``sketch_seed`` tune it (``epsilon`` wins over
+    ``sketch_k`` via :func:`repro.sketches.bottomk.k_for_epsilon`) and
+    are ignored by algorithms without sketch attributes.
 
     ``backend`` pins the propagation backend on the returned instance for
     algorithms that evaluate gains through one (the greedy family) —
@@ -213,9 +247,20 @@ def get_algorithm(
     factory = _FACTORIES[name]
     if strategy == "lazy":
         factory = _LAZY_FACTORIES.get(name, factory)
+    elif strategy == "sketch":
+        factory = _SKETCH_FACTORIES.get(name, factory)
     algorithm = factory()
     if backend is not None and hasattr(algorithm, "backend"):
         algorithm.backend = backend
+    if hasattr(algorithm, "sketch_k"):
+        if epsilon is not None:
+            from repro.sketches.bottomk import k_for_epsilon
+
+            algorithm.sketch_k = k_for_epsilon(epsilon)
+        elif sketch_k is not None:
+            algorithm.sketch_k = sketch_k
+        if sketch_seed is not None:
+            algorithm.sketch_seed = sketch_seed
     if model is not None:
         from repro.propagation.model import _check_model_spec
 
@@ -243,6 +288,7 @@ def algorithm_catalog() -> list[dict[str, object]]:
         {
             "name": name,
             "lazy_capable": name in _LAZY_FACTORIES,
+            "sketch_capable": name in _SKETCH_FACTORIES,
             "deterministic": is_deterministic(name),
             "model_aware": name in MODEL_AWARE_NAMES,
             "paper": name in PAPER_ALGORITHM_NAMES,

@@ -6,6 +6,7 @@ from collections.abc import Callable
 
 from repro.datasets.citation import citation_like_graph
 from repro.datasets.quote import quote_like_graph
+from repro.datasets.scale import scale_dag_dataset
 from repro.datasets.synthetic import dense_synthetic, sparse_synthetic
 from repro.datasets.toy import (
     fig1_graph,
@@ -23,6 +24,7 @@ _GENERATORS: dict[str, Callable[..., CGraph]] = {
     "quote": quote_like_graph,
     "twitter": twitter_like_graph,
     "citation": citation_like_graph,
+    "scale-dag": scale_dag_dataset,
     "fig1": lambda **kw: fig1_graph(),
     "fig2": lambda **kw: fig2_like_graph(),
     "fig3": lambda **kw: fig3_like_graph(),

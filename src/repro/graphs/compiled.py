@@ -116,9 +116,10 @@ class CompiledGraph:
         "n",
         "m",
         "nodes",
-        "index",
-        "succ_ids",
-        "pred_ids",
+        "_index",
+        "_succ_ids",
+        "_pred_ids",
+        "_mapped",
         "out_offsets",
         "out_targets",
         "in_offsets",
@@ -176,9 +177,10 @@ class CompiledGraph:
         self.n = n
         self.m = len(out_targets)
         self.nodes = nodes
-        self.index = index
-        self.succ_ids = succ_ids
-        self.pred_ids = pred_ids
+        self._index = index
+        self._succ_ids = succ_ids
+        self._pred_ids = pred_ids
+        self._mapped = {}
         self.out_offsets = out_offsets
         self.out_targets = out_targets
         self.in_offsets = in_offsets
@@ -247,6 +249,143 @@ class CompiledGraph:
     def graph(self) -> "CGraph | None":
         """The source graph (weakly referenced; None once it is gone)."""
         return self._graph_ref()
+
+    # ------------------------------------------------------------------
+    # Lazily materialized python-object views
+    #
+    # The dict index and the tuple-of-tuples adjacency are the pure
+    # python sweeps' hot representations, but at the scale tier's node
+    # counts they cost hundreds of MB of boxed objects — so table-built
+    # graphs (:meth:`from_tables`) defer them until something actually
+    # walks the python path.  Graphs compiled from a :class:`CGraph`
+    # still build them eagerly in ``__init__`` (unchanged behavior).
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> dict:
+        """``index[node] = id`` — the interning map."""
+        if self._index is None:
+            self._index = {v: i for i, v in enumerate(self.nodes)}
+        return self._index
+
+    @property
+    def succ_ids(self) -> tuple:
+        """Adjacency as tuples of int tuples (successor direction)."""
+        if self._succ_ids is None:
+            off, tgt = self.out_offsets, self.out_targets
+            self._succ_ids = tuple(
+                tuple(int(c) for c in tgt[off[i]:off[i + 1]])
+                for i in range(self.n)
+            )
+        return self._succ_ids
+
+    @property
+    def pred_ids(self) -> tuple:
+        """Adjacency as tuples of int tuples (predecessor direction)."""
+        if self._pred_ids is None:
+            off, src = self.in_offsets, self.in_sources
+            self._pred_ids = tuple(
+                tuple(int(p) for p in src[off[i]:off[i + 1]])
+                for i in range(self.n)
+            )
+        return self._pred_ids
+
+    # ------------------------------------------------------------------
+    # Table-direct construction (the scale tier's entry point)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tables(
+        cls,
+        *,
+        n: int,
+        out_offsets,
+        out_targets,
+        in_offsets,
+        in_sources,
+        source_ids,
+        nodes=None,
+        graph=None,
+        levels=None,
+        mapped=None,
+    ) -> "CompiledGraph":
+        """Build a compiled graph directly from CSR tables.
+
+        The streamed loaders and the ``.fpc`` on-disk format construct
+        graphs here without ever materializing a :class:`CGraph` (or any
+        python edge list).  The tables may be any integer sequences —
+        plain lists, ``array`` arrays, NumPy arrays, or ``np.memmap``
+        views; the python-object views (:attr:`index`,
+        :attr:`succ_ids`, :attr:`pred_ids`) materialize lazily.
+
+        ``nodes`` defaults to ``range(n)`` (interned ids are their own
+        user nodes).  ``levels`` optionally supplies a precomputed
+        ``(topo_order, topo_index, depth, level_offsets)`` tuple;
+        otherwise :func:`levelize_csr` runs here.  ``mapped`` names
+        memory-mapped tables (``{attr: nbytes}``) so :meth:`nbytes`
+        charges them to the mapped pool, not the resident one.
+        """
+        self = object.__new__(cls)
+        self._graph_ref = (
+            weakref.ref(graph) if graph is not None else _no_graph
+        )
+        self.n = n
+        self.m = len(out_targets)
+        self.nodes = range(n) if nodes is None else nodes
+        self._index = None
+        self._succ_ids = None
+        self._pred_ids = None
+        self._mapped = dict(mapped) if mapped else {}
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.in_offsets = in_offsets
+        self.in_sources = in_sources
+        out_degree, in_degree = _csr_degrees(
+            n, out_offsets, in_offsets
+        )
+        self.out_degree = out_degree
+        self.in_degree = in_degree
+        self._in_pos_of_out = None
+        self._edge_prob_cache = None
+        self._source_mark = None
+        self._reach_masks = None
+        self._reach_counts = None
+        self.source_ids = tuple(int(s) for s in source_ids)
+        if type(out_degree).__module__.startswith("numpy"):
+            self.sink_ids = tuple(
+                int(i) for i in (out_degree == 0).nonzero()[0]
+            )
+            self.merge_ids = tuple(
+                int(i)
+                for i in ((in_degree > 1) & (out_degree > 0)).nonzero()[0]
+            )
+        else:
+            self.sink_ids = tuple(
+                i for i in range(n) if not out_degree[i]
+            )
+            self.merge_ids = tuple(
+                i
+                for i in range(n)
+                if in_degree[i] > 1 and out_degree[i]
+            )
+        if levels is None:
+            levels = levelize_csr(n, out_offsets, out_targets, in_degree)
+        if levels is None:
+            self.is_dag = False
+            self.num_levels = 0
+            self._topo_order = None
+            self._topo_index = None
+            self._depth = None
+            self._level_offsets = None
+        else:
+            topo_order, topo_index, depth, level_offsets = levels
+            self.is_dag = True
+            self.num_levels = len(level_offsets) - 1
+            self._topo_order = topo_order
+            self._topo_index = topo_index
+            self._depth = depth
+            self._level_offsets = level_offsets
+        return self
 
     # ------------------------------------------------------------------
     # Topological accessors (DAG-only)
@@ -474,63 +613,205 @@ class CompiledGraph:
     # ------------------------------------------------------------------
 
     def nbytes(self) -> int:
-        """Shallow container memory of the compiled tables, in bytes.
+        """Resident container memory of the compiled tables, in bytes.
 
-        Sums ``sys.getsizeof`` over every table (including the per-node
-        adjacency tuples); the interned ints themselves are shared
-        objects and deliberately not charged.  Used by the ``compile``
-        bench suite to track memory per dataset scale.
+        Memory-mapped tables (a ``.fpc``-loaded graph's CSR and topo
+        arrays) are *excluded* — they are backed by the page cache, not
+        this process's heap, and charging them here made
+        ``/graphs/{digest}/stats`` and the ``compile`` bench suite
+        overstate memory by the on-disk graph size.  Use
+        :meth:`mapped_nbytes` / :meth:`nbytes_split` for the full
+        picture.  Lazily materialized views (:attr:`succ_ids`, …) are
+        charged only once built.
         """
-        total = sum(
-            sys.getsizeof(obj)
-            for obj in (
-                self.index,
-                self.nodes,
-                self.succ_ids,
-                self.pred_ids,
-                self.out_offsets,
-                self.out_targets,
-                self.in_offsets,
-                self.in_sources,
-                self.out_degree,
-                self.in_degree,
-                self.source_ids,
-                self.sink_ids,
-                self.merge_ids,
-            )
-        )
-        total += sum(sys.getsizeof(t) for t in self.succ_ids)
-        total += sum(sys.getsizeof(t) for t in self.pred_ids)
+        return self.nbytes_split()["resident"]
+
+    def mapped_nbytes(self) -> int:
+        """Bytes of memory-mapped (on-disk backed) tables."""
+        return sum(self._mapped.values())
+
+    def nbytes_split(self) -> dict[str, int]:
+        """Memory accounting as ``{"resident": ..., "mapped": ...}``.
+
+        Resident sums ``sys.getsizeof`` over python containers and
+        ``.nbytes`` over in-heap NumPy arrays (including the per-node
+        adjacency tuples and the cached extras); the interned ints
+        themselves are shared objects and deliberately not charged.
+        Tables registered as mapped at :meth:`from_tables` time are
+        charged to the mapped pool at their on-disk size instead.
+        """
+        mapped_names = self._mapped
+        resident = 0
+        for name in (
+            "nodes",
+            "out_offsets",
+            "out_targets",
+            "in_offsets",
+            "in_sources",
+            "out_degree",
+            "in_degree",
+        ):
+            if name not in mapped_names:
+                resident += _table_nbytes(getattr(self, name))
+        resident += _table_nbytes(self.source_ids)
+        resident += _table_nbytes(self.sink_ids)
+        resident += _table_nbytes(self.merge_ids)
+        if self._index is not None:
+            resident += sys.getsizeof(self._index)
+        if self._succ_ids is not None:
+            resident += sys.getsizeof(self._succ_ids)
+            resident += sum(sys.getsizeof(t) for t in self._succ_ids)
+        if self._pred_ids is not None:
+            resident += sys.getsizeof(self._pred_ids)
+            resident += sum(sys.getsizeof(t) for t in self._pred_ids)
         if self._in_pos_of_out is not None:
-            total += sys.getsizeof(self._in_pos_of_out)
+            resident += _table_nbytes(self._in_pos_of_out)
         if self._source_mark is not None:
-            total += sys.getsizeof(self._source_mark)
+            resident += sys.getsizeof(self._source_mark)
         if self._reach_masks is not None:
-            total += sys.getsizeof(self._reach_masks)
-            total += sum(sys.getsizeof(m) for m in self._reach_masks)
+            resident += sys.getsizeof(self._reach_masks)
+            resident += sum(sys.getsizeof(m) for m in self._reach_masks)
         if self._reach_counts is not None:
-            total += sys.getsizeof(self._reach_counts)
+            resident += _table_nbytes(self._reach_counts)
         if self._edge_prob_cache:
-            total += sum(
+            resident += sum(
                 probs.nbytes() for probs in self._edge_prob_cache.values()
             )
         if self.is_dag:
-            total += sum(
-                sys.getsizeof(obj)
-                for obj in (
-                    self._topo_order,
-                    self._topo_index,
-                    self._depth,
-                    self._level_offsets,
-                )
-            )
-        return total
+            for name in (
+                "_topo_order",
+                "_topo_index",
+                "_depth",
+                "_level_offsets",
+            ):
+                if name.lstrip("_") not in mapped_names:
+                    resident += _table_nbytes(getattr(self, name))
+        return {"resident": resident, "mapped": self.mapped_nbytes()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CompiledGraph(n={self.n}, m={self.m}, "
             f"sources={len(self.source_ids)}, dag={self.is_dag})"
         )
+
+
+def _no_graph() -> None:
+    """Stand-in weakref for table-built graphs with no source object."""
+    return None
+
+
+def _table_nbytes(obj) -> int:
+    """Bytes of one table: ``.nbytes`` for array-likes, else getsizeof."""
+    if obj is None:
+        return 0
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    return sys.getsizeof(obj)
+
+
+def _csr_degrees(n: int, out_offsets, in_offsets):
+    """Degree arrays from CSR offsets — vectorized when they are NumPy."""
+    if type(out_offsets).__module__.startswith("numpy"):
+        return (
+            out_offsets[1:] - out_offsets[:-1],
+            in_offsets[1:] - in_offsets[:-1],
+        )
+    return (
+        [out_offsets[i + 1] - out_offsets[i] for i in range(n)],
+        [in_offsets[i + 1] - in_offsets[i] for i in range(n)],
+    )
+
+
+def levelize_csr(n: int, out_offsets, out_targets, in_degree):
+    """Kahn-by-wavefronts over CSR arrays: the levelization
+    :class:`CompiledGraph` computes in ``__init__``, for table-built
+    graphs.
+
+    Returns ``(topo_order, topo_index, depth, level_offsets)`` with the
+    identical contract — levels sorted ascending by id, ``depth`` the
+    longest-path distance — or None when the graph is cyclic.  Runs a
+    per-level vectorized pass when the tables are NumPy arrays (the
+    streamed loaders' case) and a plain python sweep otherwise.
+    """
+    numpy_tables = type(out_targets).__module__.startswith("numpy")
+    if numpy_tables:
+        try:
+            import numpy as np
+        except Exception:  # pragma: no cover - numpy arrays imply numpy
+            numpy_tables = False
+    if numpy_tables:
+        indeg = np.asarray(in_degree, dtype=np.int64).copy()
+        off = np.asarray(out_offsets, dtype=np.int64)
+        tgt = np.asarray(out_targets, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+        topo_parts = []
+        level_offsets = [0]
+        frontier = np.nonzero(indeg == 0)[0]
+        indeg[frontier] = -1
+        processed = 0
+        level = 0
+        while len(frontier):
+            topo_parts.append(frontier)
+            processed += len(frontier)
+            depth[frontier] = level
+            level_offsets.append(processed)
+            lens = off[frontier + 1] - off[frontier]
+            total = int(lens.sum())
+            if total:
+                ends = np.cumsum(lens)
+                pos = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(ends - lens, lens)
+                    + np.repeat(off[frontier], lens)
+                )
+                children = tgt[pos]
+                hits = np.bincount(children, minlength=n)
+                indeg -= hits
+                frontier = np.nonzero(indeg == 0)[0]
+                indeg[frontier] = -1
+            else:
+                frontier = frontier[:0]
+            level += 1
+        if processed != n:
+            return None
+        topo_order = (
+            np.concatenate(topo_parts)
+            if topo_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        topo_index = np.empty(n, dtype=np.int64)
+        topo_index[topo_order] = np.arange(n, dtype=np.int64)
+        return topo_order, topo_index, depth, level_offsets
+
+    indeg = [int(d) for d in in_degree]
+    depth = [0] * n
+    frontier = [i for i in range(n) if not indeg[i]]
+    topo_order: list[int] = []
+    level_offsets = [0]
+    processed = 0
+    level = 0
+    while frontier:
+        frontier.sort()
+        topo_order.extend(frontier)
+        processed += len(frontier)
+        level_offsets.append(processed)
+        ready: list[int] = []
+        for v in frontier:
+            depth[v] = level
+            for e in range(out_offsets[v], out_offsets[v + 1]):
+                c = int(out_targets[e])
+                indeg[c] -= 1
+                if not indeg[c]:
+                    ready.append(c)
+        frontier = ready
+        level += 1
+    if processed != n:
+        return None
+    topo_index = [0] * n
+    for pos, v in enumerate(topo_order):
+        topo_index[v] = pos
+    return tuple(topo_order), topo_index, depth, level_offsets
 
 
 def packed_reach_masks(

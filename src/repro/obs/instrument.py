@@ -56,12 +56,19 @@ from repro.obs.trace import TRACER
 Node = Hashable
 
 #: Full-graph sweep counters: one increment = one whole-graph pass.
+#: The ``sketch_*`` kinds are charged by the sketch strategy itself
+#: (it bypasses the backend protocol): ``sketch_build`` is the one
+#: bottom-k merge pass, ``sketch_gains`` one estimated two-sweep gain
+#: evaluation, ``sketch_rescore`` one exact prefix-rescore session.
 SWEEP_KINDS: tuple[str, ...] = (
     "node_receipts",
     "total_receipts",
     "marginal_gains",
     "simplified_impacts",
     "session_init",
+    "sketch_build",
+    "sketch_gains",
+    "sketch_rescore",
 )
 
 #: Incremental session counters: regional updates and O(1) gain reads.

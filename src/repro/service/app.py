@@ -9,10 +9,11 @@ the tests exercise them directly without sockets.
 Placement flow, the heart of the service::
 
     request ── key = (digest, algorithm, strategy, backend*, k, rng_seed,
-        │             model*, trials*, mc_seed*)
+        │             model*, trials*, mc_seed*, sketch_k*, sketch_seed*)
         │            (*resolved: never "auto"; the model triple collapses
         │             to ("deterministic", 0, 0) whenever the request is
-        │             deterministic relaying in disguise)
+        │             deterministic relaying in disguise, and the sketch
+        │             pair to (0, 0) for exact strategies)
         ├─ exact cache hit ───────────────► 200, cached payload (free)
         ├─ prefix hit (k' ≤ cached k) ────► 200, sliced + rescored payload
         │                                   (one sweep; re-cached at k')
@@ -65,6 +66,11 @@ DEFAULT_WAIT_TIMEOUT = 300.0
 #: would let one request monopolize a worker and the world caches.
 MAX_TRIALS = 4096
 
+#: Largest accepted bottom-k sketch resolution per placement request.
+#: Register files cost ``n × k × 8`` bytes and every merge pass scales
+#: with ``k``; like ``trials``, the value is client-controlled.
+MAX_SKETCH_K = 4096
+
 
 class RequestError(ReproError):
     """A request the service must answer with a 4xx status."""
@@ -103,6 +109,8 @@ def execute_placement(
     mc_seed: int = 0,
     probabilities: "float | dict | None" = None,
     world_workers: int = 1,
+    sketch_k: int = 0,
+    sketch_seed: int = 0,
 ) -> dict[str, Any]:
     """Run one fully-specified placement and serialize it.
 
@@ -116,7 +124,9 @@ def execute_placement(
     ``model``/``trials``/``mc_seed`` are the propagation-model axis of
     the request; ``probabilities`` the graph's registered edge relay
     probabilities.  Deterministic requests (the default triple) take the
-    byte-identical pre-existing path.
+    byte-identical pre-existing path.  ``sketch_k``/``sketch_seed`` are
+    the sketch-strategy axis (``0`` = strategy defaults / not a sketch
+    request); they only reach algorithms that expose the attributes.
 
     Every execution runs through an
     :class:`~repro.obs.instrument.InstrumentedBackend` (a pure
@@ -133,7 +143,12 @@ def execute_placement(
     with span("service.plan", algorithm=algorithm, backend=backend, k=k):
         instrumented = InstrumentedBackend(get_backend(backend))
         instance = get_algorithm(
-            algorithm, strategy=strategy, backend=instrumented, model=resolved
+            algorithm,
+            strategy=strategy,
+            backend=instrumented,
+            model=resolved,
+            sketch_k=sketch_k or None,
+            sketch_seed=sketch_seed or None,
         )
     try:
         # The world-worker scope is thread-local, so it must be entered
@@ -173,6 +188,8 @@ def execute_placement_from_spec(
     mc_seed: int = 0,
     probabilities: "float | dict | None" = None,
     world_workers: int = 1,
+    sketch_k: int = 0,
+    sketch_seed: int = 0,
 ) -> dict[str, Any]:
     """Process-pool entry point: rebuild the graph, then place.
 
@@ -192,6 +209,8 @@ def execute_placement_from_spec(
         mc_seed=mc_seed,
         probabilities=probabilities,
         world_workers=world_workers,
+        sketch_k=sketch_k,
+        sketch_seed=sketch_seed,
     )
 
 
@@ -311,6 +330,11 @@ class ServiceApp:
         entry = self._get_entry(digest)
         payload = stats_payload(entry.name, entry.stats())
         payload["digest"] = entry.digest
+        compiled = getattr(entry.graph, "_compiled_cache", None) or getattr(
+            entry.graph, "_compiled", None
+        )
+        if compiled is not None:
+            payload["compiled_bytes"] = compiled.nbytes_split()
         return 200, payload
 
     def _get_entry(self, digest: str):
@@ -367,6 +391,7 @@ class ServiceApp:
         # deterministic cache cell rather than fork it.
         if model == "deterministic" or entry.probabilities is None:
             model, trials, mc_seed = "deterministic", 0, 0
+        sketch_k, sketch_seed = self._sketch_axis(body, strategy, model)
         try:
             # Validates the name and availability; resolves "auto" to the
             # concrete backend so the cache never forks on spelling.
@@ -387,8 +412,57 @@ class ServiceApp:
             model=model,
             trials=trials,
             mc_seed=mc_seed,
+            sketch_k=sketch_k,
+            sketch_seed=sketch_seed,
         )
         return key, entry
+
+    @staticmethod
+    def _sketch_axis(
+        body: dict[str, Any], strategy: str, model: str
+    ) -> tuple[int, int]:
+        """Resolve ``(sketch_k, sketch_seed)`` the way the cache needs it.
+
+        Exact strategies normalize to ``(0, 0)`` no matter how the request
+        spelled the parameters, so exact cells never fork.  Sketch
+        requests accept at most one of ``sketch_k`` / ``epsilon``
+        (``epsilon`` converts via ``k_for_epsilon``, so two spellings of
+        the same resolution land on one cell) and reject the
+        probabilistic-model axis up front — the algorithm would refuse it
+        anyway, but after queueing a job the client was told about.
+        """
+        if strategy != "sketch":
+            return 0, 0
+        if model != "deterministic":
+            raise RequestError(
+                "the 'sketch' strategy estimates deterministic relaying "
+                "only; drop 'model' or use strategy 'exact'/'lazy'"
+            )
+        from repro.sketches.bottomk import DEFAULT_SKETCH_K, k_for_epsilon
+
+        raw_k = body.get("sketch_k")
+        epsilon = body.get("epsilon")
+        if raw_k is not None and epsilon is not None:
+            raise RequestError(
+                "provide at most one of 'sketch_k' and 'epsilon'"
+            )
+        if epsilon is not None:
+            if isinstance(epsilon, bool) or not isinstance(
+                epsilon, (int, float)
+            ) or not epsilon > 0:
+                raise RequestError("'epsilon' must be a positive number")
+            sketch_k = k_for_epsilon(float(epsilon))
+        elif raw_k is not None:
+            sketch_k = _require_int(raw_k, "sketch_k")
+            if sketch_k < 4:
+                raise RequestError("'sketch_k' must be at least 4")
+        else:
+            sketch_k = DEFAULT_SKETCH_K
+        if sketch_k > MAX_SKETCH_K:
+            raise RequestError(
+                f"'sketch_k' must not exceed {MAX_SKETCH_K}"
+            )
+        return sketch_k, _require_int(body.get("sketch_seed", 0), "sketch_seed")
 
     @staticmethod
     def _request_doc(key: PlacementKey) -> dict[str, Any]:
@@ -404,6 +478,9 @@ class ServiceApp:
             doc["model"] = key.model
             doc["trials"] = key.trials
             doc["mc_seed"] = key.mc_seed
+        if key.sketch_k:
+            doc["sketch_k"] = key.sketch_k
+            doc["sketch_seed"] = key.sketch_seed
         return doc
 
     def handle_placement(
@@ -487,6 +564,8 @@ class ServiceApp:
                     key.mc_seed,
                     entry.probabilities,
                     self.world_workers,
+                    key.sketch_k,
+                    key.sketch_seed,
                 )
             else:
                 payload = execute_placement(
@@ -502,10 +581,16 @@ class ServiceApp:
                     mc_seed=key.mc_seed,
                     probabilities=entry.probabilities,
                     world_workers=self.world_workers,
+                    sketch_k=key.sketch_k,
+                    sketch_seed=key.sketch_seed,
                 )
+            # Estimate-only sketch payloads (``scored: false``) carry no
+            # phi family, so they cannot seed prefix derivations.
             self.cache.put(
                 key, payload,
-                prefix_consistent=bool(payload["prefix_consistent"]),
+                prefix_consistent=(
+                    bool(payload["prefix_consistent"]) and "phi" in payload
+                ),
             )
             return payload
 
@@ -528,6 +613,11 @@ class ServiceApp:
         payload["filters"] = donor_payload["filters"][: key.k]
         payload["filters_found"] = len(filters)
         payload["steps"] = donor_payload["steps"][: len(filters)]
+        if "sketch" in payload:
+            # The estimator audit trail is per-step; slice it with them.
+            block = dict(payload["sketch"])
+            block["estimated_gains"] = block["estimated_gains"][: len(filters)]
+            payload["sketch"] = block
         if key.model != "deterministic":
             # SAA scoring: the donor's phi_empty/f_max already average
             # the request's worlds (same (model, trials, mc_seed) cell),
@@ -687,6 +777,10 @@ class ServiceApp:
             "fp_store_compiled_bytes",
             "Bytes held by resident compiled graph plans.",
         ).set(store["compiled_bytes"])
+        REGISTRY.gauge(
+            "fp_store_compiled_mapped_bytes",
+            "Bytes of compiled graph tables backed by memory-mapped files.",
+        ).set(store["compiled_mapped_bytes"])
 
         jobs = self.jobs.counts()
         job_gauge = REGISTRY.gauge(

@@ -46,6 +46,12 @@ class PlacementKey:
     0, 0)`` — including probabilistic requests that resolved to the
     deterministic fast path (unit probabilities) — so the cache never
     forks on spelling.
+
+    The sketch-strategy axis joins the same way as ``(sketch_k,
+    sketch_seed)``: estimator resolution and hash seed change the answer,
+    so they are part of the identity.  Exact strategies carry the
+    normalized pair ``(0, 0)`` — including requests that spelled out the
+    parameters anyway — so exact cells never fork on sketch spelling.
     """
 
     digest: str
@@ -57,8 +63,10 @@ class PlacementKey:
     model: str = "deterministic"
     trials: int = 0
     mc_seed: int = 0
+    sketch_k: int = 0
+    sketch_seed: int = 0
 
-    def cell(self) -> tuple[str, str, str, str, int, str, int, int]:
+    def cell(self) -> tuple[str, str, str, str, int, str, int, int, int, int]:
         """The key minus ``k`` — the axis prefix reuse searches along."""
         return (
             self.digest,
@@ -69,6 +77,8 @@ class PlacementKey:
             self.model,
             self.trials,
             self.mc_seed,
+            self.sketch_k,
+            self.sketch_seed,
         )
 
     def describe(self) -> str:
@@ -79,6 +89,8 @@ class PlacementKey:
         )
         if self.model != "deterministic":
             base += f"/{self.model}/t{self.trials}/mc{self.mc_seed}"
+        if self.sketch_k:
+            base += f"/sk{self.sketch_k}/ss{self.sketch_seed}"
         return base
 
 

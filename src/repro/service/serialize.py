@@ -10,6 +10,14 @@ after a round-trip.
 Objective values are exact integers (the propagation model counts copies),
 so equality across backends and strategies is genuinely bit-level, not
 within-epsilon.
+
+Two payload variants relax that: probabilistic-model runs carry SAA
+float estimates plus a ``"model"`` block, and sketch-strategy runs carry
+a ``"sketch"`` block (the estimator audit trail).  A sketch run whose
+prefix was *not* exactly rescored (``rescored: false`` — the graph sits
+beyond the rescore size guard) skips the exact ``phi`` family entirely
+rather than pay full sweeps at million-node scale; it reports
+``objective_estimate`` and ``scored: false`` instead.
 """
 
 from __future__ import annotations
@@ -61,6 +69,20 @@ def placement_payload(
     the spec — ``phi_empty``/``f_max`` overrides are ignored, since the
     deterministic constants price a different objective.
     """
+    if result.rescored is False:
+        # Estimate-only result: the graph sat beyond the sketch tier's
+        # exact-rescore guard, so the recorded gains are estimator
+        # output.  Charging two full propagation sweeps here just to
+        # decorate the payload would erase the reason the sketch tier
+        # exists; report the estimate honestly instead.
+        payload = _result_fields(result)
+        payload.update(
+            {
+                "scored": False,
+                "objective_estimate": float(sum(result.estimated_gains)),
+            }
+        )
+        return payload
     if model is not None:
         from repro.core.objective import expected_phi
 
@@ -110,7 +132,7 @@ def placement_payload(
 
 def _result_fields(result: PlacementResult) -> dict[str, Any]:
     """The objective-independent half of a placement payload."""
-    return {
+    fields: dict[str, Any] = {
         "algorithm": result.algorithm,
         "requested_k": result.requested_k,
         "filters": [repr(v) for v in result.filters],
@@ -121,6 +143,15 @@ def _result_fields(result: PlacementResult) -> dict[str, Any]:
             for step in result.steps
         ],
     }
+    if result.rescored is not None:
+        # Sketch-strategy audit trail: what the estimator believed per
+        # step, and whether the recorded step gains are exact.  Exact
+        # strategies omit the block, keeping their payloads byte-stable.
+        fields["sketch"] = {
+            "rescored": result.rescored,
+            "estimated_gains": [float(g) for g in result.estimated_gains],
+        }
+    return fields
 
 
 def stats_payload(name: str, stats: GraphStats) -> dict[str, Any]:

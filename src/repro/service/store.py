@@ -388,19 +388,29 @@ class GraphStore:
         registration can never produce a torn read (e.g. the new entry
         counted in ``graphs`` but not yet in ``nodes``) — ``/healthz``
         and ``/metrics`` both report from this.  ``compiled_bytes`` sums
-        the compiled plans that exist; registration warms them for DAGs,
-        so for a warmed store this is the real resident plan memory.
+        the *resident* half of the compiled plans that exist
+        (registration warms them for DAGs, so for a warmed store this is
+        the real heap cost); ``compiled_mapped_bytes`` is the
+        memory-mapped half — ``.fpc``-backed plans whose tables live in
+        the page cache, not on the heap.
         """
         with self._lock:
             nodes = 0
             edges = 0
             compiled_bytes = 0
+            mapped_bytes = 0
             for entry in self._entries.values():
                 nodes += entry.graph.number_of_nodes()
                 edges += entry.graph.number_of_edges()
-                compiled = entry.graph._compiled_cache
+                # CGraph caches its plan in ``_compiled_cache``; streamed
+                # graphs (registered programmatically) in ``_compiled``.
+                compiled = getattr(
+                    entry.graph, "_compiled_cache", None
+                ) or getattr(entry.graph, "_compiled", None)
                 if compiled is not None:
-                    compiled_bytes += compiled.nbytes()
+                    split = compiled.nbytes_split()
+                    compiled_bytes += split["resident"]
+                    mapped_bytes += split["mapped"]
             return {
                 "graphs": len(self._entries),
                 "registrations": self.registrations,
@@ -408,6 +418,7 @@ class GraphStore:
                 "nodes": nodes,
                 "edges": edges,
                 "compiled_bytes": compiled_bytes,
+                "compiled_mapped_bytes": mapped_bytes,
             }
 
     # ------------------------------------------------------------------

@@ -1,0 +1,326 @@
+"""Bottom-k reachability sketches over the shared compiled CSR.
+
+The exact aggregate tier answers "how many sources reach ``v``"
+(``nreach``) from bit-packed reachability masks — ``Θ(n · S / 64)`` words
+of state and one OR per edge per 64 sources, which is what caps the exact
+machinery near the dense ``(sources, nodes)`` matrix scale.  This module
+replaces the masks with **bottom-k sketches**: every node keeps the ``k``
+smallest 64-bit hashes among the sources that reach it, merged in one
+topological pass over the same CSR the exact sweeps use::
+
+    R(v) = bottom_k( own(v) ∪ ⋃_{p ∈ pred(v)} R(p) )
+
+where ``own(v)`` is ``v``'s source hash when ``v`` is a designated source
+(mirroring the own-lane bit of :func:`repro.graphs.compiled.
+packed_reach_masks`, so the estimator subtracts the same source mark the
+exact popcount does).  State is ``Θ(n · k)`` words and the merge work is
+``Θ((n + m) · k log k)`` — independent of the source count.
+
+Estimation is the classic KMV / bottom-k estimator: with fewer than ``k``
+distinct hashes the register file *is* the reach set and the count is
+exact; with the registers full, the ``k``-th smallest normalized hash
+``U_(k)`` gives the unbiased estimate ``(k - 1) / U_(k)`` whose relative
+standard error is ``1 / sqrt(k - 2)`` (Beyer et al., SIGMOD'07).
+:func:`epsilon_for_k` exposes the two-sigma ``(1 ± ε)`` bound the CLI and
+docs quote; :func:`k_for_epsilon` inverts it.
+
+Two merge paths produce **bit-identical registers**: a NumPy lane-merge
+fast path (per-level ragged gather + lexsort + segment dedup) and a pure
+python fallback (sorted-set merge per node), so sketches are
+byte-reproducible per ``(graph, k, seed)`` in every environment — the
+no-numpy CI job holds the two to equality via
+:meth:`ReachSketches.register_bytes`.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import sys
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ParameterError
+from repro.sketches.hashing import source_hashes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.compiled import CompiledGraph
+
+try:  # The lane-merge fast path; the module never requires it.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: Reserved empty-register word (hash values are remapped away from it).
+EMPTY_REGISTER = (1 << 64) - 1
+
+#: Default register count: exact on every graph with ≤ 64 sources (all
+#: built-in datasets and the fuzz corpus) and a ±25% two-sigma estimator
+#: beyond, while keeping sketch state at one legacy reach-mask lane.
+DEFAULT_SKETCH_K = 64
+
+_TWO64 = float(1 << 64)
+
+
+def epsilon_for_k(k: int) -> float:
+    """The two-sigma relative error bound ``ε = 2 / sqrt(k - 2)``.
+
+    The KMV estimator's relative standard error is ``1 / sqrt(k - 2)``;
+    doubling it gives the ~95% ``(1 ± ε)`` band quoted to users.  For
+    ``k ≤ 3`` the bound is vacuous (returned as 2.0).
+    """
+    if k <= 3:
+        return 2.0
+    return 2.0 / math.sqrt(k - 2)
+
+
+def k_for_epsilon(epsilon: float) -> int:
+    """The smallest register count whose :func:`epsilon_for_k` ≤ ε."""
+    if not 0.0 < epsilon:
+        raise ParameterError(f"epsilon must be positive, got {epsilon!r}")
+    if epsilon >= 2.0:
+        return 4
+    return max(4, math.ceil(4.0 / (epsilon * epsilon)) + 2)
+
+
+class ReachSketches:
+    """Bottom-k source-reachability registers for one compiled graph.
+
+    ``registers`` is backend-shaped: an ``(n, k)`` ``uint64`` ndarray on
+    the NumPy path, or a list of ascending int tuples (≤ ``k`` entries,
+    sentinel-free) on the pure-python path.  All consumers go through
+    the accessors, which hide the representation.
+    """
+
+    __slots__ = ("k", "seed", "n", "registers", "_backend", "_source_mark")
+
+    def __init__(self, k, seed, n, registers, backend, source_mark):
+        self.k = k
+        self.seed = seed
+        self.n = n
+        self.registers = registers
+        self._backend = backend
+        self._source_mark = source_mark
+
+    @property
+    def backend(self) -> str:
+        """Which merge path built the registers: ``numpy`` or ``python``."""
+        return self._backend
+
+    def register_row(self, node_id: int) -> tuple[int, ...]:
+        """The node's registers as an ascending, sentinel-free int tuple."""
+        if self._backend == "numpy":
+            row = self.registers[node_id]
+            return tuple(int(x) for x in row[row != _np.uint64(EMPTY_REGISTER)])
+        return self.registers[node_id]
+
+    def register_bytes(self) -> bytes:
+        """All registers as canonical little-endian bytes (``n × k`` words,
+        sentinel-padded) — the byte-reproducibility surface the tests and
+        the fuzz harness compare across merge paths and runs."""
+        if self._backend == "numpy":
+            if sys.byteorder == "little":
+                return self.registers.tobytes()
+            return self.registers.byteswap().tobytes()  # pragma: no cover
+        out = bytearray()
+        pad = (EMPTY_REGISTER,) * self.k
+        for row in self.registers:
+            padded = row + pad[: self.k - len(row)]
+            out += struct.pack(f"<{self.k}Q", *padded)
+        return bytes(out)
+
+    def estimate_row(self, row: tuple[int, ...]) -> float:
+        """KMV estimate of the distinct count behind one register tuple."""
+        filled = len(row)
+        if filled < self.k:
+            return float(filled)
+        # Round the register to float *before* the +1, exactly as the
+        # vectorized path does — keeps both paths bit-identical.
+        return (self.k - 1) * _TWO64 / (float(row[self.k - 1]) + 1.0)
+
+    def estimate(self, node_id: int) -> float:
+        """Estimated ``nreach(node_id)`` (own source mark subtracted,
+        mirroring the exact popcount decomposition)."""
+        return max(
+            0.0,
+            self.estimate_row(self.register_row(node_id))
+            - self._source_mark[node_id],
+        )
+
+    def counts(self) -> list[float]:
+        """Estimated ``nreach`` for every node — the sketch analog of
+        :meth:`repro.graphs.compiled.CompiledGraph.reach_counts`."""
+        mark = self._source_mark
+        if self._backend == "numpy":
+            np = _np
+            regs = self.registers
+            sentinel = np.uint64(EMPTY_REGISTER)
+            filled = (regs != sentinel).sum(axis=1)
+            est = filled.astype(np.float64)
+            full = filled == self.k
+            if full.any():
+                kth = regs[full, self.k - 1].astype(np.float64) + 1.0
+                est[full] = (self.k - 1) * _TWO64 / kth
+            est -= np.frombuffer(bytes(mark), dtype=np.uint8).astype(
+                np.float64
+            )[: self.n]
+            return [float(x) if x > 0.0 else 0.0 for x in est]
+        return [
+            max(0.0, self.estimate_row(row) - mark[v])
+            for v, row in enumerate(self.registers)
+        ]
+
+    def is_exact(self) -> bool:
+        """True when no register file overflowed — every estimate is then
+        the exact reach count (the graceful-degradation regime)."""
+        if self._backend == "numpy":
+            np = _np
+            return bool(
+                (self.registers[:, self.k - 1] == np.uint64(EMPTY_REGISTER))
+                .all()
+            )
+        return all(len(row) < self.k for row in self.registers)
+
+    def nbytes(self) -> int:
+        """Register-file memory, in bytes."""
+        if self._backend == "numpy":
+            return int(self.registers.nbytes)
+        return sys.getsizeof(self.registers) + sum(
+            sys.getsizeof(row) for row in self.registers
+        )
+
+
+def _build_python(compiled: "CompiledGraph", k: int, seed: int):
+    """Pure-python merge: sorted-set bottom-k per node in topo order."""
+    hashes = source_hashes(seed, compiled.source_ids)
+    own: dict[int, int] = {
+        s: h for s, h in zip(compiled.source_ids, hashes)
+    }
+    pred = compiled.pred_ids
+    registers: list[tuple[int, ...]] = [()] * compiled.n
+    for v in compiled.topo_order:
+        parents = pred[v]
+        own_hash = own.get(v)
+        if not parents:
+            registers[v] = () if own_hash is None else (own_hash,)
+            continue
+        if len(parents) == 1 and own_hash is None:
+            registers[v] = registers[parents[0]]
+            continue
+        merged: set[int] = set()
+        for p in parents:
+            merged.update(registers[p])
+        if own_hash is not None:
+            merged.add(own_hash)
+        if len(merged) > k:
+            registers[v] = tuple(sorted(merged)[:k])
+        else:
+            registers[v] = tuple(sorted(merged))
+    return registers
+
+
+def _build_numpy(compiled: "CompiledGraph", k: int, seed: int):
+    """NumPy lane merge: one ragged gather + lexsort + dedup per level."""
+    np = _np
+    n = compiled.n
+    sentinel = np.uint64(EMPTY_REGISTER)
+    registers = np.full((n, k), sentinel, dtype=np.uint64)
+
+    own_hash = np.zeros(n, dtype=np.uint64)
+    is_source = np.zeros(n, dtype=bool)
+    src_ids = np.asarray(compiled.source_ids, dtype=np.int64)
+    if len(src_ids):
+        own_hash[src_ids] = source_hashes(seed, src_ids, numpy_module=np)
+        is_source[src_ids] = True
+
+    in_offsets = np.asarray(compiled.in_offsets, dtype=np.int64)
+    in_sources = np.asarray(compiled.in_sources, dtype=np.int64)
+    in_degree = in_offsets[1:] - in_offsets[:-1]
+    topo = np.asarray(compiled.topo_order, dtype=np.int64)
+    level_offsets = compiled.level_offsets
+
+    for level in range(compiled.num_levels):
+        vs = topo[level_offsets[level]:level_offsets[level + 1]]
+        lens = in_degree[vs]
+        total = int(lens.sum())
+        if total:
+            seg = np.repeat(np.arange(len(vs), dtype=np.int64), lens)
+            # Ragged gather: flat positions of every predecessor slot.
+            ends = np.cumsum(lens)
+            pos = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(ends - lens, lens)
+                + np.repeat(in_offsets[vs], lens)
+            )
+            preds = in_sources[pos]
+            values = registers[preds].reshape(-1)
+            segs = np.repeat(seg, k)
+        else:
+            values = np.empty(0, dtype=np.uint64)
+            segs = np.empty(0, dtype=np.int64)
+        src_local = np.nonzero(is_source[vs])[0]
+        if len(src_local):
+            values = np.concatenate([values, own_hash[vs[src_local]]])
+            segs = np.concatenate([segs, src_local])
+        if not len(values):
+            continue
+        order = np.lexsort((values, segs))
+        values = values[order]
+        segs = segs[order]
+        keep = np.ones(len(values), dtype=bool)
+        keep[1:] = (values[1:] != values[:-1]) | (segs[1:] != segs[:-1])
+        keep &= values != sentinel
+        values = values[keep]
+        segs = segs[keep]
+        if not len(values):
+            continue
+        counts = np.bincount(segs, minlength=len(vs))
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        rank = np.arange(len(values), dtype=np.int64) - starts[segs]
+        keep = rank < k
+        registers[vs[segs[keep]], rank[keep]] = values[keep]
+    return registers
+
+
+def build_reach_sketches(
+    compiled: "CompiledGraph",
+    *,
+    k: int = DEFAULT_SKETCH_K,
+    seed: int = 0,
+    lanes: str | None = None,
+) -> ReachSketches:
+    """Build the bottom-k reachability sketches for one compiled DAG.
+
+    ``lanes`` pins the merge implementation (``"numpy"`` / ``"python"``;
+    None auto-selects NumPy when importable).  Both produce bit-identical
+    registers; the knob exists for the differential tests.
+
+    Emits a ``sketch.build`` span and bumps ``fp_sketch_builds_total``.
+    """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import span
+
+    if not isinstance(k, int) or k < 4:
+        raise ParameterError(f"sketch k must be an int >= 4, got {k!r}")
+    if lanes is None:
+        lanes = "numpy" if _np is not None else "python"
+    if lanes not in ("numpy", "python"):
+        raise ParameterError(f"unknown sketch lanes {lanes!r}")
+    if lanes == "numpy" and _np is None:
+        raise ParameterError("numpy sketch lanes requested but numpy is "
+                             "not importable")
+    compiled.topo_order  # raises CyclicGraphError early on non-DAGs
+    with span(
+        "sketch.build", nodes=compiled.n, k=k, seed=seed, lanes=lanes
+    ):
+        if lanes == "numpy":
+            registers = _build_numpy(compiled, k, seed)
+        else:
+            registers = _build_python(compiled, k, seed)
+    REGISTRY.counter(
+        "fp_sketch_builds_total",
+        "Bottom-k reachability sketch builds.",
+        labels=("lanes",),
+    ).inc(1, lanes=lanes)
+    return ReachSketches(
+        k, seed, compiled.n, registers, lanes, compiled.source_mark()
+    )

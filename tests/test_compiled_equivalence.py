@@ -32,6 +32,7 @@ DATASET_SPECS: dict[str, dict] = {
     "quote": {"seed": 0, "scale": 0.3},
     "twitter": {"seed": 0, "scale": 0.02},
     "citation": {"seed": 0, "scale": 0.1},
+    "scale-dag": {"seed": 0, "scale": 0.001},
     "fig1": {},
     "fig2": {},
     "fig3": {},
