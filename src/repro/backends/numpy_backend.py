@@ -145,14 +145,16 @@ class _Plan:
     probe's bounds.
     """
 
-    # The plan deliberately holds no reference to the CompiledGraph (or
-    # CGraph) it adapts: the backend's plan cache is weak-keyed by graph,
-    # and a value that reached back to its key would pin both alive
-    # forever.  ``index``/``node_list`` alias the compiled view's tables,
-    # which reference node objects only.
+    # The plan references the CompiledGraph it adapts — safe with the
+    # weak-keyed plan cache because the compiled view holds only a
+    # *weak* ref back to its graph (the cache key), so no strong cycle
+    # can pin a discarded graph alive.  The reference is what routes
+    # ``_nreach`` through the shared blocked warm (and its ``.fpc``-
+    # persisted counts).
     index: dict[Node, int]
     node_list: tuple[Node, ...]
     sources: tuple[Node, ...]
+    compiled: Any = None
     levels: list[_Level] = field(default_factory=list)
     out_degree: Any = None  # int64[n]
     #: Level (longest path from any root) per node; intp[n].
@@ -184,8 +186,11 @@ class _Plan:
     #: max over levels of Σ (1 + W_∅(dst)) — bounds of the *cumulative*
     #: segment sums the sampled sweeps run per level (their prefix-sum
     #: trick sums a whole level before differencing, so the intermediate
-    #: can exceed any single node's value).
-    fwd_levelsum_bound: float = 0.0
+    #: can exceed any single node's value).  The forward bound needs a
+    #: per-source probe row, so it is deferred (None) until the sampled
+    #: state builder — its only consumer — asks for it; the flattened
+    #: 1-D plan probe never materializes the (num_sources, n) matrix.
+    fwd_levelsum_bound: "float | None" = None
     bwd_levelsum_bound: float = 0.0
     #: When True the int64 path is unsafe; delegate to the exact backend.
     exact_only: bool = False
@@ -299,7 +304,9 @@ class NumpyBackend(SampledEvaluationMixin):
         n = compiled.n
         index = compiled.index
         sources = tuple(nodes[i] for i in compiled.source_ids)
-        plan = _Plan(index=index, node_list=nodes, sources=sources)
+        plan = _Plan(
+            index=index, node_list=nodes, sources=sources, compiled=compiled
+        )
 
         counts = np.array(compiled.out_degree, dtype=np.intp)
         src = np.repeat(np.arange(n, dtype=np.intp), counts)
@@ -406,24 +413,25 @@ class NumpyBackend(SampledEvaluationMixin):
     def _probe_overflow_inner(self, plan: _Plan) -> None:
         # float64 overflow to inf (and inf·0 = NaN) is the probe's expected
         # saturation behavior — both force exact_only below.
+        #
+        # The probe runs entirely in 1-D aggregate form: with A = ∅ each
+        # edge (u → v) emits T(u) + [u is a source] (a source's pinned
+        # own-item emission — ψ_u(u) = 0 in a DAG, so the bonus term is
+        # exactly the per-item origin pinning summed over items), and
+        # T(v) = Σ_s ψ_s(v) accumulates over levels.  O(n + m) resident
+        # instead of the former (num_sources, n) ψ matrix, which at the
+        # scale rungs (S ≈ 0.3n) was half the superquadratic warm wall.
         np = self._np
         n = plan.n
-        num_sources = len(plan.sources)
-        psi = np.zeros((num_sources, n), dtype=np.float64)
-        fwd_levelsum = 0.0
+        totals = np.zeros(n, dtype=np.float64)
+        bonus = plan.src_bonus.astype(np.float64)
         for lvl in plan.levels:
             if not lvl.has_edges:
                 continue
-            emit = psi[:, lvl.nodes]  # fancy index: a fresh copy, safe to edit
-            if lvl.origin_rows.size:
-                emit[lvl.origin_rows, lvl.origin_cols] = 1.0
-            edge_emit = emit[:, lvl.fwd_src_local]
-            if edge_emit.size:
-                fwd_levelsum = max(
-                    fwd_levelsum, float(edge_emit.sum(axis=1).max())
-                )
-            psi[:, lvl.fwd_uniq_dst] += np.add.reduceat(
-                edge_emit, lvl.fwd_offsets, axis=1
+            src = lvl.fwd_src_global
+            emit = totals[src] + bonus[src]
+            totals[lvl.fwd_uniq_dst] += np.add.reduceat(
+                emit, lvl.fwd_offsets
             )
         w = np.zeros(n, dtype=np.float64)
         bwd_levelsum = 0.0
@@ -435,9 +443,9 @@ class NumpyBackend(SampledEvaluationMixin):
             w[lvl.bwd_uniq_src] += np.add.reduceat(
                 contrib, lvl.bwd_offsets
             )
-        plan.fwd_levelsum_bound = fwd_levelsum
+        # fwd_levelsum_bound needs per-source probe rows; it stays None
+        # until _fwd_levelsum — the sampled-state builder's lazy path.
         plan.bwd_levelsum_bound = bwd_levelsum
-        totals = psi.sum(axis=0) if num_sources else np.zeros(n)
         plan.psi_bound = float(totals.max()) if n else 0.0
         plan.prod_bound = float((totals * w).max()) if n else 0.0
         # Φ itself needs no bound: total_receipts sums Python ints from
@@ -452,6 +460,40 @@ class NumpyBackend(SampledEvaluationMixin):
         plan.exact_only = pick_representation(
             plan.psi_bound, plan.prod_bound
         ).exact_only
+
+    def _fwd_levelsum(self, plan: _Plan) -> float:
+        """The per-item forward level-sum bound (lazy; cached on the plan).
+
+        max over (level, item) of one item's total forward emission in
+        the ``A = ∅`` probe — the only bound that genuinely needs a ψ
+        row per source, so it is the only place the ``(num_sources, n)``
+        float64 matrix still exists.  Deferred here because only the
+        sampled-world state builder consumes it, and the probabilistic
+        tiers never run at the source counts where the matrix hurts.
+        """
+        if plan.fwd_levelsum_bound is None:
+            np = self._np
+            with np.errstate(over="ignore", invalid="ignore"):
+                psi = np.zeros(
+                    (len(plan.sources), plan.n), dtype=np.float64
+                )
+                fwd_levelsum = 0.0
+                for lvl in plan.levels:
+                    if not lvl.has_edges:
+                        continue
+                    emit = psi[:, lvl.nodes]  # fancy index: a fresh copy
+                    if lvl.origin_rows.size:
+                        emit[lvl.origin_rows, lvl.origin_cols] = 1.0
+                    edge_emit = emit[:, lvl.fwd_src_local]
+                    if edge_emit.size:
+                        fwd_levelsum = max(
+                            fwd_levelsum, float(edge_emit.sum(axis=1).max())
+                        )
+                    psi[:, lvl.fwd_uniq_dst] += np.add.reduceat(
+                        edge_emit, lvl.fwd_offsets, axis=1
+                    )
+            plan.fwd_levelsum_bound = fwd_levelsum
+        return plan.fwd_levelsum_bound
 
     # ------------------------------------------------------------------
     # Vectorized sweeps
@@ -547,9 +589,25 @@ class NumpyBackend(SampledEvaluationMixin):
     # ------------------------------------------------------------------
 
     def _nreach(self, plan: _Plan) -> Any:
-        """The (cached) packed reachability counts — int64, shape ``(n,)``."""
+        """The (cached) packed reachability counts — int64, shape ``(n,)``.
+
+        Routed through the blocked out-of-core warm
+        (:func:`repro.propagation.reach.warm_reach_counts`): O(n·B/8)
+        resident instead of O(n·S/8), bit-identical by exact integer
+        addition, and shared with the compiled graph's cache — so
+        ``.fpc``-persisted counts are reused and the python backend's
+        warm never re-sweeps.  Plans built without a compiled reference
+        (tests) fall back to the monolithic :meth:`_build_nreach`.
+        """
         if plan.nreach is None:
-            plan.nreach = self._build_nreach(plan)
+            if plan.compiled is not None:
+                from repro.propagation.reach import warm_reach_counts
+
+                plan.nreach = self._np.asarray(
+                    warm_reach_counts(plan.compiled), dtype=self._np.int64
+                )
+            else:
+                plan.nreach = self._build_nreach(plan)
         return plan.nreach
 
     def _build_nreach(self, plan: _Plan) -> Any:
@@ -808,7 +866,7 @@ class NumpyBackend(SampledEvaluationMixin):
         # int32 halves the hot path's memory traffic when everything
         # comfortably fits; int64 otherwise.
         bound = max(plan.psi_bound, plan.prod_bound)
-        levelsum = max(plan.fwd_levelsum_bound, plan.bwd_levelsum_bound)
+        levelsum = max(self._fwd_levelsum(plan), plan.bwd_levelsum_bound)
         # Same ladder as the deterministic plan, with the cross-world
         # sum (trials · bound) as the extra rung to clear; inf and NaN
         # (a saturated probe) land on "exact" like any other overflow.
@@ -1035,12 +1093,15 @@ class NumpyBackend(SampledEvaluationMixin):
     def warm(self, graph: CGraph) -> None:
         """Adapt (and cache) the shared compiled plan outside timed regions.
 
-        On the bitpack tier this also runs the packed reachability sweep
+        On the bitpack tier this also runs the blocked reachability warm
         (the tier's only other per-graph preprocessing), so timed solve
-        regions never pay for it.
+        regions never pay for it.  Exact-only plans warm the delegate
+        backend instead — its sessions consume the same shared counts.
         """
         plan = self.plan_for(graph)
-        if self.tier == "bitpack" and not plan.exact_only:
+        if plan.exact_only:
+            self._exact.warm(graph)
+        elif self.tier == "bitpack":
             self._nreach(plan)
 
 

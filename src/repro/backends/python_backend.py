@@ -259,13 +259,19 @@ class PythonBackend(SampledEvaluationMixin):
 
     def warm(self, graph: CGraph) -> None:
         """Build (and cache) the shared compiled view and, on the
-        bitpack tier, the packed reachability tables.
+        bitpack tier, the reachability counts.
 
         Reachability is the bitpack tier's only per-graph preprocessing
         beyond the :class:`~repro.graphs.compiled.CompiledGraph` every
         other layer shares; warming it here keeps it out of the timed
-        solve regions (bench) and request paths (service).
+        solve regions (bench) and request paths (service).  Counts come
+        from the blocked out-of-core sweep
+        (:func:`repro.propagation.reach.warm_reach_counts`) — block-size
+        resident memory, bit-identical to the monolithic build — and
+        land in the compiled graph's shared cache.
         """
         compiled = graph.compiled()
         if self.tier == "bitpack" and compiled.is_dag:
-            compiled.reach_counts()
+            from repro.propagation.reach import warm_reach_counts
+
+            warm_reach_counts(compiled)

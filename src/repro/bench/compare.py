@@ -311,14 +311,14 @@ def sketch_speedup(
     Matches sketch cells against the exact cell that differs only on the
     algorithm axis and divides end-to-end cost — ``plan_seconds +
     seconds``, the time to an answer on a fresh graph.  Solve-only
-    seconds would flatter exact: at scale its dominant cost is the
-    one-time big-int plan/warm (superquadratic in n), which the
-    ``seconds`` column deliberately excludes and which is exactly the
-    cost the sketch strategy eliminates — the ``scale`` suite's exact
-    cells carry ``fresh_backend`` so that cost is attributed to them.
-    The acceptance bar is ≥ 10 on the largest rung both strategies can
-    run (``scale-dag@0.3``, n=3·10^4) — above it exact has no cell at
-    all, which is the rest of the argument.
+    seconds would flatter exact: its one-time plan/warm lives in the
+    ``plan_seconds`` column, which the ``scale`` suite's exact cells
+    carry themselves via ``fresh_backend``.  Historically the warm was
+    superquadratic in n and this ratio cleared 100× at n=3·10^4; the
+    blocked reachability sweep flattened it, so on rungs exact can run
+    the ratio now hovers near (or below) 1 — the sketch's remaining
+    case is the n=10^6 rung, where one exact Φ sweep is the cost the
+    estimator exists to avoid and exact has no cell at all.
 
     Accepts :class:`~repro.bench.results.BenchRecord` objects or raw
     ``results`` rows; returns ``{sketch-cell-key: ratio}``.
@@ -387,6 +387,49 @@ def sketch_error(
         if exact_objective <= 0:
             continue
         ratios[key] = objectives[key] / exact_objective
+    return ratios
+
+
+def warm_speedup(
+    prior: Any,
+    current: Any,
+    *,
+    min_plan_seconds: float = DEFAULT_MIN_SECONDS,
+) -> dict[str, float]:
+    """Per-cell plan-cost ratio ``prior / current`` across two runs.
+
+    Unlike the single-document comparators above, this one matches cells
+    *between* a prior and a current document (each a ``BENCH.json`` dict
+    or a sequence of records/rows) by scenario key and divides their
+    ``plan_seconds`` — the column carrying the one-time warm cost the
+    ``warm`` and ``scale`` suites attribute via ``fresh_backend``.  A
+    ratio ≫ 1 means the warm got cheaper; the blocked reachability
+    sweep's acceptance bar is ≥ 10 on the ``scale-dag`` n=5·10^4 cell
+    against the pre-blocked baseline.  Cells whose prior plan cost is
+    below ``min_plan_seconds`` are skipped — there is no warm wall to
+    measure a cut of.
+
+    Returns ``{cell-key: prior_plan_seconds / current_plan_seconds}``.
+    """
+
+    def _plans(doc: Any) -> dict[str, float]:
+        rows = doc["results"] if isinstance(doc, dict) else [
+            r.to_json_dict() if hasattr(r, "to_json_dict") else r
+            for r in doc
+        ]
+        return {
+            row["key"]: float(row.get("plan_seconds", 0.0)) for row in rows
+        }
+
+    prior_plans = _plans(prior)
+    current_plans = _plans(current)
+    ratios: dict[str, float] = {}
+    for key in sorted(set(prior_plans) & set(current_plans)):
+        before = prior_plans[key]
+        if before < min_plan_seconds:
+            continue
+        after = current_plans[key]
+        ratios[key] = float("inf") if after == 0 else before / after
     return ratios
 
 

@@ -336,9 +336,10 @@ def _score_placement(
 ):
     """Score a placement (objective + FR) outside the timed region."""
     if not scenario.exact_score:
-        # Estimator-scored rung: one exact Φ sweep does not terminate at
-        # this scale (big-int path counts), which is the regime the cell
-        # documents.  The recorded step gains sum to the algorithm's own
+        # Estimator-scored rung: one exact Φ sweep at the n = 10^6 rung
+        # is the cost the sketch strategy exists to avoid, which is the
+        # regime the cell documents.  The recorded step gains sum to
+        # the algorithm's own
         # objective claim — exact F(A) for exact strategies, the
         # bottom-k estimate for an unrescored sketch run — and the
         # filter ratio is left at 0.0 rather than faked.

@@ -58,12 +58,22 @@ Built-in suites
 ``scale``
     The million-node scale tier on ``scale-dag`` rungs: all three
     execution strategies where exact is cheap (n=3·10^3), the
-    exact-vs-sketch ≥10× speedup gate at the largest rung both can run
-    (n=3·10^4, :func:`repro.bench.compare.sketch_speedup` /
-    :func:`repro.bench.compare.sketch_error`), and sketch-only
-    estimator-scored cells at n=10^5 and n=10^6 (``/streamed/est`` keys)
-    where the exact plan does not terminate — plus a streamed
-    ingestion cell recording the resident/mapped byte split.
+    exact-vs-sketch comparison pair at n=3·10^4
+    (:func:`repro.bench.compare.sketch_speedup` /
+    :func:`repro.bench.compare.sketch_error` — since the blocked
+    reachability warm the sketch's wall-clock win lives at n=10^6,
+    the rung exact's Φ sweep cannot afford), streamed exact cells at
+    n=5·10^4 and n=10^5 (feasible since the blocked reachability warm),
+    sketch estimator-scored cells at n=10^5 and n=10^6
+    (``/streamed/est`` keys) — plus a streamed ingestion cell recording
+    the resident/mapped byte split.
+``warm``
+    The warm-cost axis: fresh-backend exact ``G_All`` cells at the
+    ``scale-dag`` rungs whose ``plan_seconds`` column *is* the one-time
+    adapter warm — the blocked reachability sweep under measurement.
+    Cross-run, :func:`repro.bench.compare.warm_speedup` divides prior
+    vs current plan cost on the overlapping keys (acceptance bar: ≥10×
+    at n=5·10^4 against the pre-blocked baseline).
 """
 
 from __future__ import annotations
@@ -135,20 +145,19 @@ class BenchScenario:
     #: which is exactly what a streamed ``compile`` cell times.
     streamed: bool = False
     #: Whether the score phase computes the exact objective (Φ sweeps).
-    #: The scale tier's top rungs turn this off: big-int Φ at n ≥ 10^5
-    #: does not terminate at matrix scale — the regime the sketch
-    #: strategy exists for.  Unscored cells record the sum of the
+    #: The scale tier's estimator cells turn this off: one exact Φ
+    #: sweep at the n = 10^6 rung is the cost the sketch strategy
+    #: exists to avoid.  Unscored cells record the sum of the
     #: recorded step gains (the estimator objective for an unrescored
     #: sketch run) and a filter ratio of 0.0.
     exact_score: bool = True
     #: Build this cell's backend fresh instead of resolving the process
     #: singleton, so the backend's one-time warm cost lands in the
     #: cell's ``plan_seconds`` rather than being amortized invisibly
-    #: across the suite.  The scale tier's exact cells use this: at
-    #: n ≥ 3·10^4 the exact adapter build *is* the cost under
-    #: measurement (minutes, growing superquadratically), while the
-    #: warmed sweeps are milliseconds.  Key-silent — attribution, not
-    #: identity.
+    #: across the suite.  The scale and warm tiers' exact cells use
+    #: this: the one-time blocked reachability warm *is* the cost under
+    #: measurement, while the warmed sweeps are milliseconds.
+    #: Key-silent — attribution, not identity.
     fresh_backend: bool = False
 
     def key(self) -> str:
@@ -468,12 +477,26 @@ def parallel_suite(
 
 #: The ``scale`` suite's dataset rungs, as ``scale-dag`` scale factors:
 #: 0.03 → n=3·10^3 (every strategy, exact-scored), 0.3 → n=3·10^4 (the
-#: ≥10× sketch-vs-exact gate — the largest rung where exact completes at
-#: matrix scale: its adapter warm alone is already ~a minute there and
-#: grows superquadratically), 1.0 → n=10^5 and 10.0 → n=10^6 (streamed,
-#: sketch-only, estimator-scored: the exact plan does not terminate at
-#: matrix scale, so pretending to score these would be dishonest).
-SCALE_RUNGS: tuple[float, ...] = (0.03, 0.3, 1.0, 10.0)
+#: ≥10× sketch-vs-exact gate), 0.5 → n=5·10^4 and 1.0 → n=10^5 (exact
+#: climbs here too since the blocked reachability warm replaced the
+#: superquadratic monolithic build — the rungs the old warm could not
+#: finish), 10.0 → n=10^6 (streamed, sketch-only, estimator-scored: one
+#: exact Φ sweep at matrix scale is the cost the sketch strategy
+#: exists to avoid).
+SCALE_RUNGS: tuple[float, ...] = (0.03, 0.3, 0.5, 1.0, 10.0)
+
+#: The ``warm`` suite's rungs: ``(scale, streamed)`` pairs.  The two
+#: trajectory rungs keep the in-memory construction so their keys match
+#: the committed ``BENCH.scale.json`` cells (that overlap is what
+#: :func:`repro.bench.compare.warm_speedup` divides against); the upper
+#: rungs ride the streamed loader — at n ≥ 5·10^4 a materialized python
+#: edge list is pure overhead the scale tier never pays.
+WARM_RUNGS: tuple[tuple[float, bool], ...] = (
+    (0.03, False),
+    (0.3, False),
+    (0.5, True),
+    (1.0, True),
+)
 
 
 def scale_suite(
@@ -490,15 +513,20 @@ def scale_suite(
       the rescore guard), so its recorded gains are exact.
     * ``@0.3`` — ``G_All`` vs selection-only ``G_All_sketch``, both
       exact-scored in the score phase: the
-      :func:`repro.bench.compare.sketch_speedup` (≥10× end-to-end) and
+      :func:`repro.bench.compare.sketch_speedup` and
       :func:`repro.bench.compare.sketch_error` (objective within
-      ``1−ε``) gate pair.  The exact cells carry ``fresh_backend`` so
-      their dominant cost — the one-time exact adapter warm — is
-      attributed to their own ``plan_seconds``.
-    * ``@1.0`` / ``@10.0`` — streamed ingestion, sketch only,
-      ``exact_score=False``: the rungs exact/lazy cannot run, which is
-      the tentpole's reason to exist.  The n=10^6 cell is the honest
-      million-node measurement.
+      ``1−ε``) comparison pair.  The exact cells carry
+      ``fresh_backend`` so their one-time adapter warm is attributed to
+      their own ``plan_seconds`` — since the blocked reachability sweep
+      flattened that warm, exact wins this rung outright and the
+      sketch's speedup case rests on the n=10^6 rung exact cannot run.
+    * ``@0.5`` / ``@1.0`` — streamed exact ``G_All``: the rungs the old
+      monolithic reach-mask warm could not finish, now minutes→seconds
+      under the blocked out-of-core sweep (``fresh_backend`` keeps that
+      warm in their ``plan_seconds``).
+    * ``@1.0`` / ``@10.0`` — streamed ingestion, sketch,
+      ``exact_score=False``: the estimator lane.  The n=10^6 cell is
+      the honest million-node measurement.
     * a streamed ``compile`` cell at ``@1.0`` timing generator→CSR
       ingestion (no materialized edge list) and recording the
       resident/mapped compiled-byte split.
@@ -529,6 +557,22 @@ def scale_suite(
         )
         for algorithm in ("G_All", "G_All_sketch")
     )
+    # The rungs the monolithic warm could never finish: exact ``G_All``
+    # at n=5·10^4 and n=10^5 on streamed graphs, fresh-backend so the
+    # blocked reachability warm is attributed to their ``plan_seconds``.
+    scenarios.extend(
+        BenchScenario(
+            dataset="scale-dag",
+            algorithm="G_All",
+            k=10,
+            backend=backend,
+            scale=scale,
+            seed=seed,
+            streamed=True,
+            fresh_backend=True,
+        )
+        for scale in (0.5, 1.0)
+    )
     scenarios.extend(
         BenchScenario(
             dataset="scale-dag",
@@ -555,6 +599,42 @@ def scale_suite(
         )
     )
     return scenarios
+
+
+def warm_suite(
+    *, backends: Sequence[str] | None = None, seed: int = 0
+) -> list[BenchScenario]:
+    """The warm-cost axis: fresh-backend exact cells at the scale rungs.
+
+    Every cell is the same exact ``G_All`` ``k=10`` measurement on a
+    ``scale-dag`` rung with ``fresh_backend`` set, so the cell's
+    ``plan_seconds`` *is* the one-time warm cost under measurement —
+    dominated by the blocked reachability sweep
+    (:func:`repro.propagation.reach.warm_reach_counts`), which is the
+    quantity this suite tracks across PRs.  The solve itself is
+    milliseconds at every rung; the suite exists for the plan column.
+
+    Rungs come from :data:`WARM_RUNGS` — the two trajectory rungs keep
+    in-memory construction so their keys overlap the committed
+    ``BENCH.scale.json`` (the baseline
+    :func:`repro.bench.compare.warm_speedup` divides against; ≥10× at
+    n=5·10^4 is the acceptance bar), the upper rungs stream.
+    """
+    backends = _resolve_backends(backends)
+    backend = "numpy" if "numpy" in backends else backends[0]
+    return [
+        BenchScenario(
+            dataset="scale-dag",
+            algorithm="G_All",
+            k=10,
+            backend=backend,
+            scale=scale,
+            seed=seed,
+            streamed=streamed,
+            fresh_backend=True,
+        )
+        for scale, streamed in WARM_RUNGS
+    ]
 
 
 def apply_model(
@@ -683,6 +763,7 @@ _SUITES = {
     "bitpack": bitpack_suite,
     "parallel": parallel_suite,
     "scale": scale_suite,
+    "warm": warm_suite,
 }
 
 #: Every built-in suite name, in presentation order.

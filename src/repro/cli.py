@@ -239,6 +239,44 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_warm_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reach-block",
+        type=int,
+        default=None,
+        metavar="B",
+        help="source-block size of the blocked reachability warm "
+        "(default: 1024 lanes; one sweep holds O(n·B/8) bytes)",
+    )
+    parser.add_argument(
+        "--warm-workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="process-pool workers sharding the reachability warm over "
+        "source ranges (default: 1 = in-process sweep; results are "
+        "bit-identical for every worker count)",
+    )
+
+
+@contextlib.contextmanager
+def _warm_scoped(args: argparse.Namespace):
+    """Scope the blocked-warm knobs around a command.
+
+    ``--reach-block`` / ``--warm-workers`` bind the thread-scoped
+    defaults in :mod:`repro.propagation.reach` for the command's
+    duration; unset flags leave the process defaults untouched.
+    """
+    from repro.propagation.reach import use_reach_block, use_warm_workers
+
+    with contextlib.ExitStack() as stack:
+        if getattr(args, "reach_block", None) is not None:
+            stack.enter_context(use_reach_block(args.reach_block))
+        if getattr(args, "warm_workers", None) is not None:
+            stack.enter_context(use_warm_workers(args.warm_workers))
+        yield
+
+
 @contextlib.contextmanager
 def _observed(args: argparse.Namespace):
     """Enable tracing around a command when ``--trace``/``--profile`` ask.
@@ -288,7 +326,10 @@ def _cmd_place(args: argparse.Namespace) -> int:
     # Scoped, not set_default_backend: main() is also a library entry
     # point and must not leak a changed process default to its caller.
     with use_backend(args.backend):
-        with _observed(args):
+        # _warm_scoped outside _observed: its first-use import of the
+        # reach module must not bill milliseconds to the trace that the
+        # place.* phase spans cannot account for.
+        with _warm_scoped(args), _observed(args):
             return _run_place(args)
 
 
@@ -422,6 +463,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         TRACER.disable()
     else:
         TRACER.enable()
+    # Warm knobs bind process-wide here (not thread-scoped): jobs warm
+    # graphs from pool threads, which would never see a scoped override
+    # made on the boot thread.
+    if args.reach_block is not None or args.warm_workers is not None:
+        from repro.propagation.reach import (
+            set_reach_block,
+            set_warm_workers,
+        )
+
+        if args.reach_block is not None:
+            set_reach_block(args.reach_block)
+        if args.warm_workers is not None:
+            set_warm_workers(args.warm_workers)
     app = ServiceApp(
         workers=args.workers,
         pool=args.pool,
@@ -429,6 +483,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_bytes=args.cache_bytes,
         max_graphs=args.max_graphs,
         world_workers=args.world_workers,
+        persist_dir=args.persist_dir,
     )
     for spec in args.preload:
         entry, _ = app.store.register_dataset(spec)
@@ -541,7 +596,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # the scope per-cell inside the harness and therefore win.
     from repro.propagation.parallel import use_world_workers
 
-    with _observed(args), use_world_workers(args.workers):
+    with _warm_scoped(args), _observed(args), use_world_workers(args.workers):
         records = run_suite(
             scenarios,
             repeats=args.repeats,
@@ -640,6 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
         "service's POST /placements result)",
     )
     _add_observability_arguments(place)
+    _add_warm_arguments(place)
     place.set_defaults(func=_cmd_place)
 
     stats = sub.add_parser("stats", help="dataset structural summary")
@@ -713,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_model_arguments(bench)
     _add_observability_arguments(bench)
+    _add_warm_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
 
     from repro.service.jobs import POOL_KINDS
@@ -769,6 +826,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DATASET",
         help="built-in datasets to register at boot",
     )
+    serve.add_argument(
+        "--persist-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of .fpc plan snapshots: DAG registrations are "
+        "persisted there (compiled tables + warmed reach counts) and "
+        "memory-mapped back at the next boot",
+    )
+    _add_warm_arguments(serve)
     from repro.service.http import LOG_FORMATS
 
     serve.add_argument(

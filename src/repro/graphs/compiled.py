@@ -501,13 +501,21 @@ class CompiledGraph:
         the filter set (a filter always forwards at least one copy of
         anything it receives), so this is a per-graph constant the
         aggregate gain formulas consume.
+
+        Derived by the *blocked* sweep (:func:`blocked_reach_counts`)
+        unless the full masks happen to be cached already — counting
+        must never pin the O(n·S/8) mask list resident, only callers of
+        :meth:`reach_masks` pay for masks.
         """
         if self._reach_counts is None:
-            mark = self.source_mark()
-            self._reach_counts = [
-                m.bit_count() - mark[v]
-                for v, m in enumerate(self.reach_masks())
-            ]
+            if self._reach_masks is not None:
+                mark = self.source_mark()
+                self._reach_counts = [
+                    m.bit_count() - mark[v]
+                    for v, m in enumerate(self._reach_masks)
+                ]
+            else:
+                self._reach_counts = blocked_reach_counts(self)
         return self._reach_counts
 
     # ------------------------------------------------------------------
@@ -869,3 +877,62 @@ def packed_reach_counts(
         m.bit_count() - mark[v]
         for v, m in enumerate(packed_reach_masks(compiled, pred))
     ]
+
+
+#: Source lanes one blocked-sweep window holds resident.  1024 lanes is
+#: 128 bytes of bitset per node per window — small enough that even the
+#: million-node rung keeps one window under ~128 MB, large enough that
+#: the per-window sweep overhead amortizes.
+DEFAULT_REACH_BLOCK = 1024
+
+
+def blocked_reach_counts(
+    compiled: CompiledGraph,
+    block: int = DEFAULT_REACH_BLOCK,
+    source_start: int = 0,
+    source_stop: "int | None" = None,
+    subtract_mark: bool = True,
+) -> list[int]:
+    """``nreach`` via a blocked sweep that never holds all masks.
+
+    Sources are swept in windows of ``block`` lanes: each window runs
+    the :func:`packed_reach_masks` recurrence restricted to its own
+    lanes, popcounts the finished window into an int accumulator, and
+    drops the window's masks before the next one starts.  Resident
+    memory is O(n·block/8) bits instead of O(n·S/8), and because source
+    sets of different windows are disjoint the popcount sums are *exact*
+    integer addition — the result is bit-identical to the monolithic
+    path for every block size.
+
+    ``source_start``/``source_stop`` restrict the sweep to a slice of
+    ``source_ids`` (the process-parallel shards each take one contiguous
+    slice and the parent sums the returned count vectors elementwise).
+    ``subtract_mark=False`` returns the raw per-window popcount sums —
+    shard workers use it so the source-mark correction is applied
+    exactly once, by the parent.
+    """
+    if block < 1:
+        raise ParameterError("reach block size must be at least 1")
+    sources = compiled.source_ids[source_start:source_stop]
+    n = compiled.n
+    order = compiled.topo_order
+    pred = compiled.pred_ids
+    counts = [0] * n
+    for start in range(0, len(sources), block):
+        window = sources[start:start + block]
+        own = [0] * n
+        for j, s in enumerate(window):
+            own[s] = 1 << j
+        masks = [0] * n
+        for v in order:
+            acc = own[v]
+            for p in pred[v]:
+                acc |= masks[p]
+            masks[v] = acc
+        for v, m in enumerate(masks):
+            if m:
+                counts[v] += m.bit_count()
+    if not subtract_mark:
+        return counts
+    mark = compiled.source_mark()
+    return [c - mark[v] for v, c in enumerate(counts)]

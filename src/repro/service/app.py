@@ -228,9 +228,12 @@ class ServiceApp:
         warm_backends: bool = True,
         wait_timeout: float = DEFAULT_WAIT_TIMEOUT,
         world_workers: int = 1,
+        persist_dir: "str | None" = None,
     ) -> None:
         self.store = GraphStore(
-            max_graphs=max_graphs, warm_backends=warm_backends
+            max_graphs=max_graphs,
+            warm_backends=warm_backends,
+            persist_dir=persist_dir,
         )
         self.cache = PlacementCache(
             max_entries=cache_entries, max_bytes=cache_bytes
@@ -262,11 +265,16 @@ class ServiceApp:
     ) -> tuple[int, dict[str, Any]]:
         """``POST /graphs`` — register a dataset, edge list, or spec.
 
-        Body shapes (exactly one of ``dataset`` / ``edges``):
+        Body shapes (exactly one of ``dataset`` / ``edges`` /
+        ``fpc_path``):
 
         * ``{"dataset": "citation", "seed": 0, "scale": 0.1}``
         * ``{"edges": "u v\\n...", "sources": [...], "prepare": false,
           "initiator": ..., "name": "my-upload"}``
+        * ``{"fpc_path": "/data/plans/web.fpc", "name": "web"}`` — a
+          compiled-plan directory already on the server's filesystem,
+          memory-mapped in place (the streamed route: million-node
+          graphs register without a JSON edge list ever existing).
 
         Responds 201 on first registration, 200 when the digest was
         already resident (registration is idempotent).
@@ -276,13 +284,25 @@ class ServiceApp:
             raise RequestError("request body must be a JSON object")
         has_dataset = "dataset" in body
         has_edges = "edges" in body
-        if has_dataset == has_edges:
+        has_fpc = "fpc_path" in body
+        if has_dataset + has_edges + has_fpc != 1:
             raise RequestError(
-                "provide exactly one of 'dataset' or 'edges'"
+                "provide exactly one of 'dataset', 'edges' or 'fpc_path'"
             )
         probabilities = _parse_probabilities(body)
         try:
-            if has_dataset:
+            if has_fpc:
+                if not isinstance(body["fpc_path"], str):
+                    raise RequestError(
+                        "'fpc_path' must be a filesystem path string"
+                    )
+                name = body.get("name")
+                entry, created = self.store.register_fpc(
+                    body["fpc_path"],
+                    name=None if name is None else str(name),
+                    probabilities=probabilities,
+                )
+            elif has_dataset:
                 seed = _require_int(body.get("seed", 0), "seed")
                 scale = body.get("scale")
                 if scale is not None and not isinstance(scale, (int, float)):
@@ -309,9 +329,10 @@ class ServiceApp:
                 )
         except RequestError:
             raise
-        except ReproError as exc:
+        except (ReproError, OSError) as exc:
             # Unknown dataset names, malformed edge lists, bad graph
-            # structure — all client errors, not server faults.
+            # structure, unreadable .fpc directories — all client
+            # errors, not server faults.
             raise RequestError(str(exc)) from None
         payload = entry.describe_payload()
         payload["created"] = created

@@ -19,9 +19,11 @@ entry, and a cache keyed by digest survives re-registration.
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import Any, Hashable
 
 from repro.analysis.metrics import GraphStats, describe
@@ -114,6 +116,10 @@ def build_graph_from_spec(spec: dict[str, Any]) -> CGraph:
 
             graph = prepare_cgraph(graph, initiator=spec.get("initiator"))
         return graph
+    if kind == "fpc":
+        from repro.graphs.largescale import load_compiled
+
+        return load_compiled(spec["path"])
     raise ParameterError(f"unknown graph spec kind {kind!r}")
 
 
@@ -227,11 +233,27 @@ class GraphStore:
         the consumers reject).  Since the compile-once refactor the
         structure itself exists exactly once; what each backend warms
         is only its derived view (the NumPy backend's level groupings
-        and overflow probe).
+        and overflow probe).  Warming routes the reachability counts
+        through the blocked out-of-core sweep
+        (:func:`repro.propagation.reach.warm_reach_counts`), so even
+        10^5-node registrations stay block-size resident.
+    persist_dir:
+        Optional directory of ``.fpc`` plan snapshots.  Every DAG
+        registration (without edge probabilities, which ``.fpc`` does
+        not carry) is persisted there as ``<digest>.fpc`` via
+        :func:`~repro.graphs.largescale.save_compiled` — compiled
+        tables *and* warmed reach counts — and a restarted store
+        memory-maps the whole set back with
+        :func:`~repro.graphs.largescale.load_compiled`, skipping both
+        the compile and the reachability sweep.
     """
 
     def __init__(
-        self, *, max_graphs: int | None = None, warm_backends: bool = True
+        self,
+        *,
+        max_graphs: int | None = None,
+        warm_backends: bool = True,
+        persist_dir: "str | Path | None" = None,
     ) -> None:
         if max_graphs is not None and max_graphs < 1:
             raise ParameterError("max_graphs must be positive or None")
@@ -239,10 +261,16 @@ class GraphStore:
         self._lock = threading.RLock()
         self._max_graphs = max_graphs
         self._warm_backends = warm_backends
+        self._persist_dir = None if persist_dir is None else Path(persist_dir)
         #: Lifetime counters (guarded by the same lock as the entries, so
         #: ``stats()`` snapshots counters and residency consistently).
         self.registrations = 0
         self.evictions = 0
+        #: Plans written to / restored from ``persist_dir`` this lifetime.
+        self.persisted = 0
+        self.restored = 0
+        if self._persist_dir is not None:
+            self._restore_persisted()
 
     def __len__(self) -> int:
         with self._lock:
@@ -310,7 +338,8 @@ class GraphStore:
             # each available backend's thin adapter over it (for the
             # NumPy backend that includes its overflow probe — genuinely
             # backend-private, but derived from the same structure, not
-            # a second copy of it).
+            # a second copy of it).  The bitpack tiers' warm routes the
+            # reachability counts through the blocked out-of-core sweep.
             graph.compiled()
             from repro.backends.registry import (
                 available_backends,
@@ -319,7 +348,100 @@ class GraphStore:
 
             for backend_name in available_backends():
                 get_backend(backend_name).warm(graph)
+        self._persist_entry(entry)
         return entry, True
+
+    def register_fpc(
+        self,
+        path: "str | Path",
+        *,
+        name: str | None = None,
+        probabilities: "float | dict | None" = None,
+    ) -> tuple[GraphEntry, bool]:
+        """Register a ``.fpc`` compiled-plan directory from disk.
+
+        The graph arrives as a memory-mapped
+        :class:`~repro.graphs.largescale.StreamedGraph` — no edge-list
+        JSON ever crosses the wire, which is how million-node graphs
+        reach the job API.  Persisted reach counts ride along, so a
+        pre-warmed ``.fpc`` registers without re-running the sweep.
+        """
+        from repro.graphs.largescale import load_compiled
+
+        fpc = Path(path)
+        spec: dict[str, Any] = {"kind": "fpc", "path": str(fpc)}
+        graph = build_graph_from_spec(spec)
+        return self.register_graph(
+            graph,
+            name=fpc.stem if name is None else name,
+            spec=spec,
+            probabilities=probabilities,
+        )
+
+    # ------------------------------------------------------------------
+    # Plan persistence (persist_dir)
+    # ------------------------------------------------------------------
+
+    def _persist_entry(self, entry: GraphEntry) -> None:
+        """Snapshot a freshly registered plan into ``persist_dir``.
+
+        Best-effort and content-addressed: the target is
+        ``<digest>.fpc``, so re-registrations are no-ops.  Skipped for
+        cyclic graphs (no topo tables to persist), probabilistic
+        registrations (``.fpc`` carries structure only) and graphs whose
+        node ids the format rejects (tuple-noded derivations).
+        """
+        target_dir = self._persist_dir
+        if (
+            target_dir is None
+            or entry.probabilities is not None
+            or not entry.graph.is_dag()
+        ):
+            return
+        target = target_dir / f"{entry.digest}.fpc"
+        if (target / "meta.json").exists():
+            return
+        from repro.graphs.largescale import save_compiled
+
+        try:
+            save_compiled(entry.graph, target)
+        except ParameterError:
+            return
+        with open(target / "store.json", "w", encoding="utf-8") as handle:
+            json.dump(
+                {"digest": entry.digest, "name": entry.name}, handle
+            )
+        self.persisted += 1
+
+    def _restore_persisted(self) -> None:
+        """Memory-map every ``<digest>.fpc`` snapshot back in at startup.
+
+        Restored entries reuse the digest recorded at persist time (the
+        snapshots are content-addressed by this store, so recomputing it
+        would only re-walk tables we already trust) and come back with
+        their reach counts materialized from the ``.fpc`` reach table —
+        the restart pays neither the compile nor the warm sweep.
+        """
+        from repro.graphs.largescale import load_compiled
+
+        self._persist_dir.mkdir(parents=True, exist_ok=True)
+        for target in sorted(self._persist_dir.glob("*.fpc")):
+            marker = target / "store.json"
+            if not marker.is_file():
+                continue
+            with open(marker, "r", encoding="utf-8") as handle:
+                info = json.load(handle)
+            digest = str(info["digest"])
+            graph = load_compiled(target)
+            entry = GraphEntry(
+                digest,
+                graph,
+                str(info.get("name", target.stem)),
+                {"kind": "fpc", "path": str(target)},
+            )
+            with self._lock:
+                self._entries[digest] = entry
+            self.restored += 1
 
     def register_dataset(
         self,
@@ -419,6 +541,8 @@ class GraphStore:
                 "edges": edges,
                 "compiled_bytes": compiled_bytes,
                 "compiled_mapped_bytes": mapped_bytes,
+                "persisted_plans": self.persisted,
+                "restored_plans": self.restored,
             }
 
     # ------------------------------------------------------------------

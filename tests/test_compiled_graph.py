@@ -126,6 +126,32 @@ def test_nbytes_positive_and_monotone():
     assert 0 < small.nbytes() < large.nbytes()
 
 
+def test_reach_counts_do_not_pin_reach_masks():
+    # Regression: deriving the counts used to cache the full O(n·S/8)
+    # mask list as a side effect, pinning it resident forever.  Counting
+    # must stay blocked — only reach_masks() callers pay for masks.
+    cg = get_dataset("quote", seed=0, scale=0.3).compiled()
+    baseline = cg.nbytes_split()["resident"]
+    counts = cg.reach_counts()
+    assert cg._reach_masks is None
+    grown = cg.nbytes_split()["resident"] - baseline
+    import sys
+
+    # The legitimate growth: the counts list itself plus the n-byte
+    # source-mark the sweep materializes.  Nothing mask-shaped.
+    assert grown <= (
+        sys.getsizeof(counts)
+        + sum(sys.getsizeof(c) for c in set(counts))
+        + sys.getsizeof(cg.source_mark())
+    )
+    # Masks cached first are legitimately chargeable — and the counts
+    # derived from them must agree with the blocked sweep's.
+    fresh = get_dataset("quote", seed=0, scale=0.3).compiled()
+    fresh.reach_masks()
+    assert fresh.nbytes_split()["resident"] > grown + baseline
+    assert fresh.reach_counts() == counts
+
+
 # ----------------------------------------------------------------------
 # Derived-graph constructor audit: explicit-source preservation and
 # compiled-cache freshness (one regression test per constructor).

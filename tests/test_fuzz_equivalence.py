@@ -165,3 +165,133 @@ def test_sampled_queries_bit_identical_across_tiers_and_backends(
             f"{case.name}/{mechanism}: sampled results of {key} diverged "
             "from python/lanes over identical worlds"
         )
+
+
+# ----------------------------------------------------------------------
+# Blocked reachability warm: bit-equality for every engine × block ×
+# worker combination (the out-of-core nreach sweep's contract).
+# ----------------------------------------------------------------------
+
+#: Block sizes straddling the lane-word boundaries: single-lane, partial
+#: word, exact word, word+1, and larger-than-every-corpus-source-set.
+REACH_BLOCKS = (1, 3, 64, 65, 1000)
+
+#: Worker counts the sharded reduce is fuzzed at.
+REACH_WORKERS = (1, 2, 4)
+
+
+def _numpy_or_none():
+    try:
+        import numpy as np
+    except ImportError:
+        return None
+    return np
+
+
+def _oracle_reach_counts(graph) -> list[int]:
+    """Dict-path oracle: per-source DFS over the successor dicts.
+
+    ``nreach[v] = #{s : ψ_s(v) > 0}`` — sources with a ≥ 1-edge path to
+    ``v`` — computed with none of the compiled machinery under test.
+    """
+    compiled = graph.compiled()
+    counts = {v: 0 for v in graph.nodes()}
+    for s in graph.sources:
+        seen = set()
+        stack = [s]
+        while stack:
+            for w in graph.successors(stack.pop()):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        for v in seen:
+            counts[v] += 1
+    return [counts[v] for v in compiled.nodes]
+
+
+def _numpy_plane_counts(compiled, block: int) -> "list[int] | None":
+    """The NumPy plane engine's counts at ``block`` (None without NumPy).
+
+    Drives the raw sweep, not :func:`warm_reach_counts` — the public
+    entry caches on first call, which would collapse the block axis of
+    the parametrization to whichever value ran first.
+    """
+    np = _numpy_or_none()
+    if np is None:
+        return None
+    from repro.propagation.reach import (
+        _as_int64,
+        _plane_sweep_counts,
+        _subtract_mark,
+    )
+
+    raw = _plane_sweep_counts(
+        np,
+        compiled.n,
+        _as_int64(np, compiled.in_offsets),
+        _as_int64(np, compiled.in_sources),
+        _as_int64(np, compiled.topo_order),
+        list(compiled.level_offsets),
+        _as_int64(np, compiled.source_ids),
+        block,
+    )
+    return _subtract_mark(np, raw, compiled).tolist()
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("block", REACH_BLOCKS)
+def test_blocked_reach_counts_bit_identical_across_blocks(case, block):
+    from repro.graphs.compiled import (
+        blocked_reach_counts,
+        packed_reach_counts,
+    )
+
+    graph = case_graph(case)
+    compiled = graph.compiled()
+    monolithic = packed_reach_counts(compiled)
+    assert monolithic == _oracle_reach_counts(graph)
+    assert blocked_reach_counts(compiled, block) == monolithic
+    plane = _numpy_plane_counts(compiled, block)
+    if plane is not None:
+        assert plane == monolithic
+
+
+@pytest.mark.parametrize("workers", REACH_WORKERS)
+def test_sharded_reach_counts_bit_identical_across_workers(workers):
+    np = _numpy_or_none()
+    if np is None:
+        pytest.skip("sharding is the NumPy engine's axis")
+    from repro.graphs.compiled import packed_reach_counts
+    from repro.propagation.reach import _sharded_reach_counts
+
+    for case in CASES:
+        graph = case_graph(case)
+        compiled = graph.compiled()
+        if not compiled.source_ids:
+            continue
+        sharded = _sharded_reach_counts(np, compiled, 2, workers)
+        assert sharded == packed_reach_counts(compiled), (
+            f"{case.name}: sharded counts diverged at {workers} workers"
+        )
+
+
+def test_warm_reach_counts_caches_and_matches_backends():
+    """The public entry: every backend's warm lands the identical list."""
+    from repro.backends.registry import available_backends, build_backend
+    from repro.graphs.compiled import packed_reach_counts
+    from repro.propagation.reach import warm_reach_counts
+
+    case = CASES[0]
+    expected = None
+    for backend_name in available_backends():
+        graph = case.build()  # fresh graph: an unwarmed compiled cache
+        compiled = graph.compiled()
+        assert compiled._reach_counts is None
+        build_backend(backend_name).warm(graph)
+        assert compiled._reach_counts is not None
+        assert warm_reach_counts(compiled) is compiled._reach_counts
+        counts = list(compiled._reach_counts)
+        assert counts == packed_reach_counts(compiled)
+        if expected is None:
+            expected = counts
+        assert counts == expected

@@ -447,8 +447,10 @@ def test_int32_eligibility_consults_psi_bound():
     graph = CGraph(edges)
     backend = get_backend("numpy")
     plan = backend.plan_for(graph)
+    # The forward level-sum bound is lazy (the flattened plan probe
+    # defers it to the sampled path); the accessor computes and caches.
     assert plan.psi_bound > max(
-        plan.fwd_levelsum_bound / k, 1
+        backend._fwd_levelsum(plan) / k, 1
     )  # sanity: the shape exercises multi-level fan-in
     model = build_model("live-edge", edge_prob=0.9, trials=6, seed=0)
     state = backend._sampled_state(graph, plan, model)
@@ -466,7 +468,7 @@ def test_int32_eligibility_consults_psi_bound():
     # Force ψ beyond int32 range while the level sums stay small: the
     # dtype decision must fall back to int64 on psi_bound alone.
     plan.psi_bound = float(2**31)
-    assert plan.fwd_levelsum_bound < 2**30
+    assert backend._fwd_levelsum(plan) < 2**30
     wide = backend._build_sampled_state(graph, plan, model)
     assert wide.dtype is np.int64
     assert not wide.exact_only

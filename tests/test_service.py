@@ -621,3 +621,93 @@ def test_algorithms_endpoint_reports_models(app):
     by_name = {row["name"]: row for row in doc["algorithms"]}
     assert by_name["G_All"]["model_aware"] is True
     assert by_name["Rand_K"]["model_aware"] is False
+
+
+# ----------------------------------------------------------------------
+# .fpc ingestion and plan persistence (the streamed registration route)
+# ----------------------------------------------------------------------
+
+
+def test_register_fpc_roundtrip(tmp_path):
+    from repro.graphs.largescale import save_compiled, scale_dag
+
+    graph = scale_dag(0.001, seed=3)
+    graph.compiled().reach_counts()  # persist the warmed counts too
+    fpc = save_compiled(graph, tmp_path / "tiny.fpc")
+
+    app = small_app()
+    try:
+        status, doc = app.handle_register_graph(
+            {"fpc_path": str(fpc), "name": "tiny"}
+        )
+        assert status == 201 and doc["created"]
+        assert doc["name"] == "tiny"
+        assert doc["nodes"] == graph.number_of_nodes()
+        assert doc["is_dag"] is True
+        # Idempotent: the same .fpc lands on the same digest.
+        status, again = app.handle_register_graph({"fpc_path": str(fpc)})
+        assert status == 200 and not again["created"]
+        assert again["digest"] == doc["digest"]
+        # The restored counts rode along: no re-warm needed.
+        entry = app.store.get(doc["digest"])
+        assert entry.graph.compiled()._reach_counts is not None
+        # And the entry serves placements like any other.
+        status, result = app.place_sync(
+            {"graph": doc["digest"], "algorithm": "G_All", "k": 2}
+        )
+        assert status == 200
+        assert len(result["result"]["filters"]) == 2
+    finally:
+        app.close()
+
+
+def test_register_graph_body_exclusivity(tmp_path, app):
+    from repro.service.app import RequestError
+
+    for body in (
+        {},
+        {"dataset": "fig1", "fpc_path": "x"},
+        {"edges": "a b", "fpc_path": "x"},
+        {"fpc_path": 7},
+        {"fpc_path": str(tmp_path / "missing.fpc")},
+    ):
+        with pytest.raises(RequestError) as err:
+            app.handle_register_graph(body)
+        assert err.value.status == 400
+
+
+def test_store_persist_dir_roundtrip(tmp_path):
+    persist = tmp_path / "plans"
+    store = GraphStore(persist_dir=persist)
+    entry, created = store.register_dataset("fig1")
+    assert created and store.persisted == 1
+    snapshot = persist / f"{entry.digest}.fpc"
+    assert (snapshot / "meta.json").is_file()
+    assert (snapshot / "store.json").is_file()
+    # Warming at registration persisted the reach counts with the plan.
+    assert (snapshot / "reach_counts.bin").is_file()
+    # Re-registration is a no-op on disk.
+    store.register_dataset("fig1")
+    assert store.persisted == 1
+
+    restored = GraphStore(persist_dir=persist)
+    assert restored.restored == 1 and len(restored) == 1
+    back = restored.get(entry.digest)
+    assert back.name == entry.name
+    assert back.graph.number_of_nodes() == entry.graph.number_of_nodes()
+    assert back.graph.compiled()._reach_counts is not None
+    assert sorted(map(repr, back.graph.edges())) == sorted(
+        map(repr, entry.graph.edges())
+    )
+    stats = restored.stats()
+    assert stats["restored_plans"] == 1
+
+
+def test_persist_dir_skips_probabilistic_and_cyclic(tmp_path):
+    persist = tmp_path / "plans"
+    store = GraphStore(persist_dir=persist, warm_backends=False)
+    store.register_dataset("fig1", probabilities=0.5)
+    cyclic = CGraph([("a", "b"), ("b", "a")], sources=["a"])
+    store.register_graph(cyclic, name="loop", spec={"kind": "edges"})
+    assert store.persisted == 0
+    assert not list(persist.glob("*.fpc"))
